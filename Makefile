@@ -1,0 +1,27 @@
+# Convenience targets for the reproduction repo.
+
+PYTHON ?= python3
+
+.PHONY: install test bench examples docs all clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done
+	@echo "all examples ran clean"
+
+docs:
+	$(PYTHON) tools/gen_api_docs.py
+
+record:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+all: test bench examples docs

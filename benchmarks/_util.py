@@ -1,0 +1,37 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every bench regenerates one experiment of DESIGN.md's index, prints its
+table(s), and persists them under ``benchmarks/results/`` so
+EXPERIMENTS.md can be assembled from the exact program output.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.report import Table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_tables(name: str, tables: list[Table], notes: str = "") -> str:
+    """Render, print, and persist the experiment's tables; returns the
+    rendered text."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    chunks = [t.render() for t in tables]
+    if notes:
+        chunks.append(notes.strip())
+    text = "\n\n".join(chunks) + "\n"
+    path = os.path.join(RESULTS_DIR, f"{name}.md")
+    with open(path, "w") as fh:
+        fh.write(text)
+    print()
+    print(text)
+    return text
+
+
+def once(benchmark, fn):
+    """Run an experiment function exactly once under pytest-benchmark
+    (the experiments measure algorithmic quantities, not wall time; one
+    round keeps ``--benchmark-only`` sweeps fast)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,71 @@
+"""Ablation A3 -- redundancy level: q = 2 (3 copies) vs q = 4 (5 copies).
+
+The paper parameterizes redundancy by q; more copies buy expansion
+(|Gamma(S)| >= |S|^{2/3} q grows with q) at the price of memory and of
+more work per operation (majority q/2+1 grows too).  The footnote in
+Section 4 singles out q = 2 as "one of the interesting cases for
+practical PRAM simulations" [Mey92].
+
+Measured: protocol cost, copies touched, and storage overhead for both
+parameterizations on machines of comparable size.
+"""
+
+from _util import once, save_tables
+from repro.analysis.report import Table
+from repro.core.scheme import PPScheme
+
+
+def run_experiment():
+    t = Table(
+        ["q", "n", "N", "copies/var", "majority", "storage overhead",
+         "N' = 1000 iters", "copies touched", "modeled steps"],
+        title="A3 / redundancy ablation -- q=2 vs q=4 at N ~ 1000",
+    )
+    rows = {}
+    for q, n in ((2, 5), (4, 3)):
+        s = PPScheme(q, n)
+        idx = s.random_request_set(1000, seed=2)
+        res = s.access(idx, op="count")
+        t.add_row([q, n, s.N, s.copies_per_variable, s.majority,
+                   f"{s.copies_per_variable}x",
+                   res.total_iterations, res.mpc_stats.served,
+                   res.modeled_steps(s.N)])
+        rows[q] = (res.total_iterations, res.mpc_stats.served)
+
+    # q = 8: no enumerable addressing at this size (M = 266k needs the
+    # full coset table) -- drive the protocol from sampled matrices.
+    from repro.core.graph import MemoryGraph
+    from repro.core.protocol import run_access_protocol
+    import numpy as np
+
+    g8 = MemoryGraph(8, 3)
+    rng = np.random.default_rng(2)
+    mats = g8.random_variable_matrices(1000, rng)
+    mods = g8.vgamma_variables(mats)
+    res8 = run_access_protocol(mods, g8.N, g8.majority)
+    t.add_row([8, 3, g8.N, g8.copies_per_variable, g8.majority,
+               f"{g8.copies_per_variable}x",
+               res8.total_iterations, res8.mpc_stats.served, "-"])
+    rows[8] = (res8.total_iterations, res8.mpc_stats.served)
+    save_tables(
+        "a03_redundancy_ablation",
+        [t],
+        notes="q=4 spends ~2x the copy traffic and 5/3 the storage for "
+        "similar iteration counts at this scale -- consistent with the "
+        "paper's (and [Mey92]'s) preference for q=2 in practice; the "
+        "asymptotic payoff of larger q only shows against adversaries "
+        "sized beyond these machines.",
+    )
+    return rows
+
+
+def test_a03_redundancy(benchmark):
+    rows = once(benchmark, run_experiment)
+    # copy traffic grows strictly with q for the same request count
+    assert rows[2][1] < rows[4][1] < rows[8][1]
+
+
+def test_a03_q4_access_speed(benchmark):
+    s = PPScheme(4, 3)
+    idx = s.random_request_set(1000, seed=3)
+    benchmark(lambda: s.access(idx, op="count"))

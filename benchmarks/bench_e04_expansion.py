@@ -1,0 +1,86 @@
+"""E4 -- Theorems 4/5: expansion |Gamma(S)| >= |S|^{2/3} q / 2^{1/3}.
+
+Paper claims: (a) the bound holds for every S; (b) for n composite
+there exist sets attaining Theta(|S|^{2/3} q) (the remark after
+Theorem 4, witnessed by embedded PGL2(q^d) subgeometries).
+
+Regenerated here: random-set profiles (min/mean over trials), greedy
+adversarial sets, and the tight-set series with its fitted exponent.
+"""
+
+import numpy as np
+
+from _util import once, save_tables
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.report import Table
+from repro.core.bounds import expansion_lower_bound
+from repro.core.expansion import (
+    gamma_size,
+    greedy_contracting_set,
+    sampled_expansion_profile,
+    subgroup_tight_set,
+)
+from repro.core.graph import MemoryGraph
+
+
+def run_experiment():
+    rng = np.random.default_rng(1)
+    # --- random and greedy sets on (2,5) --------------------------------
+    g5 = MemoryGraph(2, 5)
+    t1 = Table(
+        ["|S|", "bound", "random min", "random mean", "greedy", "min/bound"],
+        title="E4a / Theorem 4 -- expansion of random vs greedy-adversarial sets (q=2, n=5)",
+    )
+    min_ratio = np.inf
+    for row in sampled_expansion_profile(g5, [8, 32, 128, 512, 2048], rng, trials=4):
+        greedy = gamma_size(g5, greedy_contracting_set(g5, min(row["size"], 64)))
+        t1.add_row(
+            [row["size"], round(row["bound"], 1), row["min"],
+             round(row["mean"], 1), greedy if row["size"] <= 64 else None,
+             round(row["min_over_bound"], 3)]
+        )
+        min_ratio = min(min_ratio, row["min_over_bound"])
+
+    # --- tight series across composite n --------------------------------
+    t2 = Table(
+        ["n", "d", "|S|", "|Gamma(S)|", "bound", "Gamma/bound",
+         "Gamma/(|S|^(2/3) q)"],
+        title="E4b / Theorem 4 tightness -- embedded PGL2(q^d) witnesses",
+    )
+    sizes, gammas = [], []
+    for n, d in [(4, 2), (6, 3), (8, 4), (10, 5)]:
+        g = MemoryGraph(2, n)
+        S = subgroup_tight_set(g, d)
+        gam = gamma_size(g, S)
+        bound = expansion_lower_bound(len(S), 2)
+        t2.add_row([n, d, len(S), gam, round(bound, 1), round(gam / bound, 2),
+                    round(gam / (len(S) ** (2 / 3) * 2), 3)])
+        sizes.append(len(S))
+        gammas.append(gam)
+    alpha, _ = fit_power_law(sizes, gammas)
+    save_tables(
+        "e04_expansion",
+        [t1, t2],
+        notes=f"Fitted exponent of the tight series: |Gamma(S)| ~ |S|^{alpha:.3f} "
+        f"(paper: 2/3).  The bound is never violated (min ratio "
+        f"{min_ratio:.2f}); random sets expand near-linearly, the algebraic "
+        f"witnesses pin the 2/3 exponent.",
+    )
+    return min_ratio, alpha
+
+
+def test_e04_theorem4(benchmark):
+    min_ratio, alpha = once(benchmark, run_experiment)
+    assert min_ratio >= 1.0  # the lower bound holds everywhere
+    assert 0.55 < alpha < 0.8  # the witnesses scale like the 2/3 power
+
+
+def test_e04_gamma_of_set_speed(benchmark):
+    g = MemoryGraph(2, 7)
+    rng = np.random.default_rng(2)
+    mats = g.random_variable_matrices(4096, rng)
+
+    def measure():
+        return np.unique(g.vgamma_variables(mats)).size
+
+    benchmark(measure)

@@ -1,0 +1,78 @@
+"""E7 -- Theorem 7: the Omega((M/N)^{1/r}) lower bound.
+
+Paper claim: ANY memory organization storing M variables with exactly r
+copies each in N modules admits a request set of N variables needing
+Omega((M/N)^{1/r}) time; with q=2 (r=3) and this paper's M, that is
+N^{1/6 - o(1)} -- so the achieved O(N^{1/3} log* N) is within a square.
+
+Regenerated here: for each scheme, the constructive concentrated set
+(all copies inside a module set B), the implied bound |S| * quorum / |B|,
+and the measured protocol time on that set -- plus the (M/N)^{1/r}
+reference column.  Also the paper's comparison against the weaker
+average-redundancy bound of [UW87].
+"""
+
+import numpy as np
+
+from _util import once, save_tables
+from repro.analysis.report import Table
+from repro.core.bounds import lower_bound_average_r, lower_bound_exact_r
+from repro.schemes import (
+    MehlhornVishkinScheme,
+    PPAdapter,
+    SingleCopyScheme,
+    UpfalWigdersonScheme,
+)
+from repro.workloads.adversarial import concentrated_set_for
+
+
+def run_experiment():
+    N, M = 1023, 5456
+    t = Table(
+        ["scheme", "r", "(M/N)^(1/r)", "|S|", "|B|", "implied floor",
+         "measured time", "floor respected"],
+        title="E7 / Theorem 7 -- concentrated-set adversaries vs the lower bound",
+    )
+    ok = True
+    schemes = [
+        SingleCopyScheme(N, M, hashed=True, seed=0),
+        MehlhornVishkinScheme(N, M, c=3),
+        UpfalWigdersonScheme(N, M, c=2, seed=0),
+        PPAdapter(2, 5),
+    ]
+    for sch in schemes:
+        r = sch.copies_per_variable
+        count = 16
+        if isinstance(sch, SingleCopyScheme):
+            count = min(count, sch.max_module_load())
+        idx, b = concentrated_set_for(sch, count)
+        res = sch.access(idx, op="count", count_as="write")
+        floor = len(idx) * sch.write_quorum / b
+        measured = res.total_iterations
+        respected = measured >= np.floor(floor)
+        ok &= bool(respected)
+        t.add_row([sch.name, r, round(lower_bound_exact_r(M, N, r), 2),
+                   len(idx), b, round(floor, 1), measured, respected])
+
+    t2 = Table(
+        ["r", "exact-copy bound (Thm 7)", "average-copy bound [UW87]"],
+        title="E7b -- Theorem 7 strengthens the [UW87] bound (M=5456, N=1023)",
+    )
+    for r in (1, 2, 3, 5):
+        t2.add_row([r, round(lower_bound_exact_r(M, N, r), 2),
+                    round(lower_bound_average_r(M, N, r), 2)])
+
+    save_tables(
+        "e07_lower_bound",
+        [t, t2],
+        notes="Every scheme's measured adversarial time respects the "
+        "concentration floor |S|*quorum/|B|.  Structured schemes "
+        "(single-copy, MV) admit small B and big floors; the random and "
+        "PGL2 placements only admit large B -- their expansion is the "
+        "defence, and Theorem 7 caps how good any r-copy defence can be.",
+    )
+    return ok
+
+
+def test_e07_lower_bound(benchmark):
+    assert once(benchmark, run_experiment)

@@ -1,0 +1,73 @@
+"""E10 -- Figure 1 analog: the coset-intersection configuration.
+
+The paper's only figure illustrates the Theorem-2 proof: two variable
+cosets A H0, B H0 and two module cosets C H_{n-1}, D H_{n-1} cannot
+form a 4-cycle (each variable meeting both modules).
+
+Regenerated here: (a) a census of the bipartite incidence structure at
+(2,3) -- 4-cycle count (must be 0), path counts, degree spectrum;
+(b) the girth-style statistics that make the figure's impossibility
+quantitative.
+"""
+
+import numpy as np
+
+from _util import once, save_tables
+from repro.analysis.report import Table
+from repro.core.graph import MemoryGraph
+
+
+def run_experiment():
+    g = MemoryGraph(2, 3)
+    mats = g.all_variable_matrices()
+    rows = [set(g.gamma_variable(A)) for A in mats]
+
+    # 4-cycles: pairs of variables sharing >= 2 modules
+    four_cycles = 0
+    sharing_pairs = 0
+    for i in range(len(rows)):
+        for j in range(i):
+            inter = len(rows[i] & rows[j])
+            if inter >= 2:
+                four_cycles += 1
+            if inter == 1:
+                sharing_pairs += 1
+
+    # spectrum: how many (variable, variable) pairs per shared module count
+    t = Table(
+        ["quantity", "value", "paper"],
+        title="E10 / Figure 1 -- incidence structure census (q=2, n=3)",
+    )
+    t.add_row(["variables |V|", len(mats), 84])
+    t.add_row(["modules |U|", g.N, 63])
+    t.add_row(["4-cycles (A,B,C,D as in Fig. 1)", four_cycles, 0])
+    t.add_row(["variable pairs sharing exactly 1 module", sharing_pairs, "allowed"])
+    t.add_row(["variable pairs sharing 0 modules",
+               len(mats) * (len(mats) - 1) // 2 - sharing_pairs - four_cycles,
+               "allowed"])
+
+    # per-module co-residency: each module's q^{n-1} variables pairwise
+    # share exactly that one module (Corollary 1's disjointness)
+    cor1_ok = True
+    for u in range(g.N):
+        group = [g.variables.canon(m) for m in g.gamma_module(u)]
+        outside = []
+        for A in group:
+            outside.extend(m for m in g.gamma_variable(A) if m != u)
+        cor1_ok &= len(outside) == len(set(outside)) == g.q * len(group)
+    t.add_row(["Corollary 1: outside-copies all distinct", cor1_ok, True])
+
+    save_tables(
+        "e10_figure1",
+        [t],
+        notes="The Figure-1 configuration (a 4-cycle) does not occur "
+        "anywhere in the graph, and Corollary 1's disjointness -- the "
+        "engine of the expansion proof -- holds at every module.",
+    )
+    return four_cycles, cor1_ok
+
+
+def test_e10_figure1(benchmark):
+    four_cycles, cor1_ok = once(benchmark, run_experiment)
+    assert four_cycles == 0
+    assert cor1_ok

@@ -1,0 +1,80 @@
+"""E13 (extension) -- availability under module failures.
+
+Not an explicit claim of the paper, but a direct corollary of the
+majority discipline it adopts from [Tho79]: with q+1 copies and quorum
+q/2+1, a variable stays fully available while at most q/2 of its
+modules are down.  Because Theorem 2 spreads any two variables'
+copies across almost-disjoint module sets, availability under random
+failures should track the binomial prediction
+P[>= q/2+1 of q+1 copies failed] with failure rate f = |F|/N.
+
+Measured: surviving-variable fraction and read correctness on the
+survivors, as the number of failed modules sweeps 0 -> N/2.
+"""
+
+import numpy as np
+from scipy.stats import binom
+
+from _util import once, save_tables
+from repro.analysis.report import Table
+from repro.core.scheme import PPScheme
+
+
+def run_experiment():
+    s = PPScheme(2, 5)
+    idx = s.random_request_set(2000, seed=0)
+    store = s.make_store()
+    s.write(idx, values=idx, store=store, time=1)
+    rng = np.random.default_rng(1)
+
+    t = Table(
+        ["failed modules", "failure rate f", "unavailable measured",
+         "binomial prediction", "survivor reads correct"],
+        title="E13 / fault tolerance -- availability vs failed modules (q=2, n=5)",
+    )
+    gaps = []
+    for nf in (0, 8, 32, 128, 256, 512):
+        failed = rng.choice(s.N, nf, replace=False) if nf else np.array([], dtype=np.int64)
+        res = s.read(idx, store=store, time=2 + nf, failed_modules=failed,
+                     allow_partial=True)
+        bad = 0 if res.unsatisfiable is None else res.unsatisfiable.size
+        f = nf / s.N
+        # a variable dies when >= 2 of its 3 copies are in failed modules
+        pred = float(binom.sf(1, 3, f)) if nf else 0.0
+        survivors = np.setdiff1d(np.arange(len(idx)),
+                                 res.unsatisfiable if bad else np.array([]))
+        correct = bool((res.values[survivors] == idx[survivors]).all())
+        t.add_row([nf, round(f, 3), round(bad / len(idx), 4), round(pred, 4),
+                   correct])
+        gaps.append(abs(bad / len(idx) - pred))
+        assert correct
+    # dynamic lifecycle: failures arrive and repair over a long run
+    from repro.mpc.faults import FaultSchedule, simulate_availability
+
+    t2 = Table(
+        ["failure rate/step", "repair lag", "steps", "peak failed modules",
+         "peak unavailable vars", "all survivor reads exact"],
+        title="E13b / dynamic failure + repair lifecycle (q=2, n=5, 1500 vars)",
+    )
+    idx2 = s.random_request_set(1500, seed=9)
+    for rate, lag in ((0.002, 3), (0.01, 3), (0.01, 10)):
+        fs = FaultSchedule(s.N, rate, repair_lag=lag, seed=2)
+        tr = simulate_availability(s, idx2, fs, steps=12)
+        t2.add_row([rate, lag, tr.steps, max(tr.failed_per_step),
+                    tr.worst_unavailable, tr.reads_correct])
+        assert tr.reads_correct
+
+    save_tables(
+        "e13_fault_tolerance",
+        [t, t2],
+        notes="Unavailability tracks the independent-failure binomial to "
+        "within sampling noise (Theorem 2 keeps copy sets nearly "
+        "disjoint), and every still-available variable reads its exact "
+        "last-written value even at 50% module loss.  Under churn with "
+        "repair, peak unavailability stays near zero at realistic rates.",
+    )
+    return max(gaps)
+
+
+def test_e13_fault_tolerance(benchmark):
+    assert once(benchmark, run_experiment) < 0.05

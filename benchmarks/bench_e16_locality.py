@@ -1,0 +1,76 @@
+"""E16 (extension) -- realistic traffic: skew and temporal locality.
+
+The paper's guarantees are worst-case over *distinct*-request batches;
+actual parallel programs issue skewed, locality-heavy streams.  Two
+questions the theory does not answer but a practitioner would ask:
+
+1. does popularity skew hurt?  (No: duplicates combine before the
+   protocol -- concurrency on one variable is free on a combining
+   machine, and the remaining distinct set is easier.)
+2. does locality hurt?  (Slightly helps if anything: a stable working
+   set maps to a stable module set, and the deterministic placement has
+   no cache to warm -- the protocol cost depends only on the set's
+   expansion, Theorem 4.)
+
+Regenerated here: iteration series across zipf skews and working-set
+churn rates, for the PGL2 scheme and the baselines.
+"""
+
+import numpy as np
+
+from _util import once, save_tables
+from repro.analysis.report import Table
+from repro.schemes import PPAdapter, SingleCopyScheme, UpfalWigdersonScheme
+from repro.workloads.traces import locality_trace, replay_trace, zipfian_batch
+
+
+def run_experiment():
+    N, M = 1023, 5456
+    schemes = [
+        PPAdapter(2, 5),
+        UpfalWigdersonScheme(N, M, c=2, seed=4),
+        SingleCopyScheme(N, M, hashed=True, seed=4),
+    ]
+    t = Table(
+        ["scheme", "zipf skew", "raw reqs", "distinct", "mean iters/batch"],
+        title="E16a / popularity skew (8 batches x 512 raw requests)",
+    )
+    pp_rows = {}
+    for sch in schemes:
+        for skew in (0.0, 0.6, 0.9, 0.99):
+            rng = np.random.default_rng(11)
+            trace = [zipfian_batch(M, 512, skew, rng) for _ in range(8)]
+            rep = replay_trace(sch, trace)
+            t.add_row([sch.name, skew, rep.raw_requests, rep.distinct_requests,
+                       round(rep.mean_iterations, 2)])
+            if sch.name.startswith("pietracaprina"):
+                pp_rows[skew] = rep.mean_iterations
+
+    t2 = Table(
+        ["scheme", "churn", "distinct/raw", "mean iters/batch"],
+        title="E16b / temporal locality (working set 512, 8 batches x 384)",
+    )
+    for sch in schemes:
+        for churn in (0.0, 0.25, 1.0):
+            rng = np.random.default_rng(13)
+            trace = locality_trace(M, 8, 384, 512, churn, rng)
+            rep = replay_trace(sch, trace)
+            t2.add_row([sch.name, churn, round(rep.combining_ratio, 3),
+                        round(rep.mean_iterations, 2)])
+
+    save_tables(
+        "e16_locality",
+        [t, t2],
+        notes="Skew and locality never hurt: heavier skew means more "
+        "combining and a smaller distinct set, so per-batch cost is flat "
+        "or falls.  Deterministic placement has no warm-up to lose when "
+        "the working set churns -- Theorem-4 expansion is the only thing "
+        "the cost ever depended on.",
+    )
+    return pp_rows
+
+
+def test_e16_locality(benchmark):
+    rows = once(benchmark, run_experiment)
+    # cost never grows with skew beyond noise
+    assert rows[0.99] <= rows[0.0] + 1

@@ -1,0 +1,56 @@
+"""E17 (extension) -- storage balance: Fact 1's hidden practical win.
+
+Fact 1 says every module stores exactly ``q^{n-1}`` copies: the PGL2
+placement is *perfectly* balanced by construction, so module capacity
+can be provisioned exactly.  A random placement (UW) is only balanced
+in expectation -- its fullest module overshoots the mean by the classic
+balls-in-bins factor, and hashing single copies is worse.
+
+Regenerated here: the storage-load distribution (max/mean/stddev) of
+each scheme carrying all M variables, and the induced worst-module
+access congestion on full random request loads.
+"""
+
+import numpy as np
+
+from _util import once, save_tables
+from repro.analysis.report import Table
+from repro.schemes import PPAdapter, SingleCopyScheme, UpfalWigdersonScheme
+
+
+def run_experiment():
+    N, M = 1023, 5456
+    t = Table(
+        ["scheme", "copies stored", "mean/module", "max/module",
+         "stddev", "max/mean"],
+        title="E17 / storage balance with all M variables placed",
+    )
+    results = {}
+    for sch in (
+        PPAdapter(2, 5),
+        UpfalWigdersonScheme(N, M, c=2, seed=2),
+        SingleCopyScheme(N, M, hashed=True, seed=2),
+    ):
+        pl = sch.placement(np.arange(M, dtype=np.int64))
+        loads = np.bincount(pl.ravel(), minlength=sch.N)
+        t.add_row([sch.name, int(loads.sum()), round(float(loads.mean()), 2),
+                   int(loads.max()), round(float(loads.std()), 2),
+                   round(float(loads.max() / loads.mean()), 2)])
+        results[sch.name] = (float(loads.std()), float(loads.max() / loads.mean()))
+    save_tables(
+        "e17_balance",
+        [t],
+        notes="The PGL2 placement has stddev exactly 0 -- every module "
+        "holds exactly q^{n-1} = 16 copies, as Fact 1 computes.  The "
+        "random placement pays the balls-in-bins overshoot; single-copy "
+        "hashing is the most ragged.  Perfect balance means exact "
+        "capacity provisioning, one more 'practical' in the title.",
+    )
+    return results
+
+
+def test_e17_balance(benchmark):
+    results = once(benchmark, run_experiment)
+    pp_std, pp_ratio = results["pietracaprina-preparata"]
+    assert pp_std == 0.0 and pp_ratio == 1.0
+    assert results["upfal-wigderson"][0] > 0

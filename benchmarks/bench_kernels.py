@@ -1,0 +1,72 @@
+"""Microbenchmarks of the computational kernels.
+
+Not an experiment -- a performance suite over the hot paths that make
+the repo's quarter-million-request simulations feasible: field
+arithmetic, the coset-index kernel, unranking, slot computation, and
+the protocol's arbitration step.
+"""
+
+import numpy as np
+
+from repro.core.graph import MemoryGraph
+from repro.core.scheme import PPScheme
+from repro.gf.gf2m import GF2m
+from repro.mpc.arbitration import LowestIdArbiter
+
+
+def test_kernel_gf_vmul(benchmark):
+    F = GF2m.get(18)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, F.order, 1_000_000)
+    b = rng.integers(0, F.order, 1_000_000)
+    benchmark(lambda: F.vmul(a, b))
+
+
+def test_kernel_gf_vinv(benchmark):
+    F = GF2m.get(18)
+    rng = np.random.default_rng(1)
+    a = rng.integers(1, F.order, 1_000_000)
+    benchmark(lambda: F.vinv(a))
+
+
+def test_kernel_module_vindex(benchmark):
+    g = MemoryGraph(2, 9)
+    mats = g.group_element_arrays()
+    sub = tuple(x[:500_000] for x in mats)
+    benchmark(lambda: g.modules.vindex(sub))
+
+
+def test_kernel_vkeys(benchmark):
+    g = MemoryGraph(2, 7)
+    mats = g.group_element_arrays()
+    sub = tuple(x[:100_000] for x in mats)
+    benchmark(lambda: g.vkeys(sub))
+
+
+def test_kernel_vgamma(benchmark):
+    s = PPScheme(2, 9)
+    idx = s.random_request_set(200_000, seed=0)
+    mats = s.addressing.vunrank(idx)
+    benchmark(lambda: s.graph.vgamma_variables(mats))
+
+
+def test_kernel_vslots(benchmark):
+    s = PPScheme(2, 7)
+    idx = s.random_request_set(16_383, seed=1)
+    mats = s.addressing.vunrank(idx)
+    mods = s.graph.vgamma_variables(mats)
+    benchmark(lambda: s._vslots(mats, mods))
+
+
+def test_kernel_arbitration(benchmark):
+    rng = np.random.default_rng(2)
+    mods = rng.integers(0, 262_143, 500_000)
+    arb = LowestIdArbiter()
+    benchmark(lambda: arb(mods))
+
+
+def test_kernel_vrank(benchmark):
+    s = PPScheme(2, 9)
+    idx = s.random_request_set(100_000, seed=3)
+    mats = s.addressing.vunrank(idx)
+    benchmark(lambda: s.addressing.vrank(mats))

@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration: make `benchmarks` importable as a
+package-less directory and share slow graph fixtures."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.core.scheme import PPScheme  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def scheme_2_5():
+    return PPScheme(2, 5)
+
+
+@pytest.fixture(scope="session")
+def scheme_2_7():
+    return PPScheme(2, 7)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fault tolerance: surviving module failures with majority quorums.
+
+The paper's majority discipline descends from Thomas's fault-tolerant
+replicated databases [Tho79]; this example kills memory modules at
+runtime and watches the scheme keep serving exact data.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import numpy as np
+
+from repro import PPScheme
+from repro.analysis.report import Table
+
+
+def main() -> None:
+    s = PPScheme(q=2, n=5)
+    idx = s.random_request_set(2000, seed=0)
+    store = s.make_store()
+    s.write(idx, values=idx * 3 % (1 << 20), store=store, time=1)
+    expected = idx * 3 % (1 << 20)
+    rng = np.random.default_rng(42)
+
+    t = Table(
+        ["failed modules", "variables unavailable", "survivors correct",
+         "read Phi"],
+        title=f"killing modules out of N = {s.N} (3 copies, quorum 2)",
+    )
+    for nf in (0, 16, 64, 256, 511):
+        failed = rng.choice(s.N, nf, replace=False)
+        res = s.read(idx, store=store, time=2 + nf, failed_modules=failed,
+                     allow_partial=True)
+        bad = res.unsatisfiable if res.unsatisfiable is not None else np.array([], dtype=np.int64)
+        survivors = np.setdiff1d(np.arange(len(idx)), bad)
+        ok = bool((res.values[survivors] == expected[survivors]).all())
+        t.add_row([nf, bad.size, ok, res.max_phase_iterations])
+        assert ok
+    t.print()
+    print()
+    print(
+        "A variable only becomes unavailable when 2 of its 3 copies die;\n"
+        "Theorem 2 guarantees different variables share at most one module,\n"
+        "so failures cannot cascade.  Every surviving variable returns its\n"
+        "exact last-written value -- even with half the machine gone."
+    )
+
+    # degraded writes also work: a write completed during the outage is
+    # visible after recovery
+    failed = rng.choice(s.N, 100, replace=False)
+    sub = idx[:500]
+    s.write(sub, values=np.full(500, 777), store=store, time=1000,
+            failed_modules=failed, allow_partial=True)
+    res = s.read(sub, store=store, time=1001)  # full recovery
+    fresh = int((res.values == 777).sum())
+    print(
+        f"\ndegraded write during a 100-module outage: {fresh}/500 variables "
+        f"updated (only copies reaching a live quorum); after recovery all "
+        f"of those read fresh."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scheme shootout: all four memory organizations under identical traffic.
+
+Sweeps request-set sizes and workload types (uniform random, strided,
+hot-spot blocks, each scheme's own adversary) over single-copy hashing,
+Mehlhorn-Vishkin, Upfal-Wigderson, and the paper's scheme, all storing
+the same M variables in the same N modules of the same simulated MPC.
+
+This is the executable version of the paper's introduction: reads the
+table bottom-up and you see exactly why constant-redundancy majority
+over a constructive expander is the interesting corner of the design
+space.
+
+Run:  python examples/scheme_shootout.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.schemes import (
+    MehlhornVishkinScheme,
+    PPAdapter,
+    SingleCopyScheme,
+    UpfalWigdersonScheme,
+)
+from repro.workloads import concentrated_set_for
+from repro.workloads.generators import hotspot_blocks, random_distinct, strided
+
+
+def main() -> None:
+    N, M = 1023, 5456
+    schemes = [
+        SingleCopyScheme(N, M, hashed=True, seed=5),
+        MehlhornVishkinScheme(N, M, c=3),
+        UpfalWigdersonScheme(N, M, c=2, seed=5),
+        PPAdapter(q=2, n=5),
+    ]
+
+    table = Table(
+        ["scheme", "r", "workload", "read iters", "write iters"],
+        title=f"All schemes, N={N} modules, M={M} variables, 512 requests",
+    )
+    size = 512
+    workloads = {
+        "uniform": random_distinct(M, size, seed=1),
+        "strided(17)": strided(M, size, stride=17),
+        "hotspot": hotspot_blocks(M, size, block=256, n_blocks=3, seed=1),
+    }
+    for sch in schemes:
+        for name, idx in workloads.items():
+            r_read = sch.access(idx, op="count", count_as="read")
+            r_write = sch.access(idx, op="count", count_as="write")
+            table.add_row([sch.name, sch.copies_per_variable, name,
+                           r_read.total_iterations, r_write.total_iterations])
+        # per-scheme adversary, sized to what the scheme's structure admits
+        adv_size = 16
+        if isinstance(sch, SingleCopyScheme):
+            adv_size = min(adv_size, sch.max_module_load())
+        adv, b = concentrated_set_for(sch, adv_size)
+        r_read = sch.access(adv, op="count", count_as="read")
+        r_write = sch.access(adv, op="count", count_as="write")
+        table.add_row([sch.name, sch.copies_per_variable,
+                       f"own-adversary(|B|={b})",
+                       r_read.total_iterations, r_write.total_iterations])
+    table.print()
+
+    print()
+    print("Reading guide:")
+    print(" * single-copy: fine on uniform traffic, collapses on its adversary;")
+    print(" * mehlhorn-vishkin: reads always cheap, writes blow up (all-copies rule);")
+    print(" * upfal-wigderson: balanced, but the placement is an unverifiable")
+    print("   random graph with no compact addressing;")
+    print(" * pietracaprina-preparata: the same balanced behaviour from an")
+    print("   explicit algebraic construction with O(log N) addressing --")
+    print("   the paper's contribution.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so
+fully offline environments without the `wheel` package can still do
+``python setup.py develop`` or ``pip install -e . --no-build-isolation``
+via the legacy code path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

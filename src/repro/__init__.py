@@ -1,0 +1,37 @@
+"""repro -- a full reproduction of Pietracaprina & Preparata (SPAA 1993),
+"A Practical Constructive Scheme for Deterministic Shared-Memory Access".
+
+The package implements, from scratch:
+
+* the algebraic substrate (finite fields :mod:`repro.gf`, the projective
+  linear group :mod:`repro.pgl`);
+* the paper's memory-organization graph ``G(V, U; E)`` over cosets of
+  PGL2(q^n), its expansion analysis, the majority access protocol, and
+  the O(log N) on-the-fly addressing layer (:mod:`repro.core`);
+* a Module Parallel Computer simulator (:mod:`repro.mpc`);
+* the baseline schemes the paper compares against: single-copy hashing,
+  Mehlhorn-Vishkin multi-copy, and Upfal-Wigderson random-graph majority
+  (:mod:`repro.schemes`);
+* workload generators including adversarial constructions
+  (:mod:`repro.workloads`) and analysis/reporting helpers
+  (:mod:`repro.analysis`).
+
+Quick start::
+
+    from repro import PPScheme
+    scheme = PPScheme(q=2, n=5)          # N = 1023 modules, 3 copies/var
+    idx = scheme.random_request_set(512, seed=0)
+    store = scheme.make_store()
+    scheme.write(idx, values=idx, store=store, time=1)
+    result = scheme.read(idx, store=store, time=2)
+    assert (result.values == idx).all()
+"""
+
+from repro.core.graph import MemoryGraph
+from repro.core.scheme import PPScheme
+from repro.core.protocol import AccessResult
+from repro.mpc.machine import MPC
+
+__all__ = ["PPScheme", "MemoryGraph", "AccessResult", "MPC"]
+
+__version__ = "1.0.0"

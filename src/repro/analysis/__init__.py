@@ -1,0 +1,12 @@
+"""Measurement analysis and report formatting for the experiment harness."""
+
+from repro.analysis.fitting import fit_power_law, fit_exponent_pairs, geometric_sizes
+from repro.analysis.report import Table, format_float
+
+__all__ = [
+    "fit_power_law",
+    "fit_exponent_pairs",
+    "geometric_sizes",
+    "Table",
+    "format_float",
+]

@@ -1,0 +1,58 @@
+"""Exponent fitting: does a measured series grow like x^alpha?
+
+The paper's claims are asymptotic shapes (N^{1/3}, |S|^{2/3}, (M/N)^{1/r});
+the experiment harness fits log-log slopes to the measured series and
+reports them next to the predicted exponents.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["fit_power_law", "fit_exponent_pairs", "geometric_sizes"]
+
+
+def fit_power_law(xs, ys) -> tuple[float, float]:
+    """Least-squares fit of ``y = a * x^alpha``; returns ``(alpha, a)``.
+
+    Zero/negative entries are rejected (they have no log).
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.size < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    if np.any(xs <= 0) or np.any(ys <= 0):
+        raise ValueError("power-law fit requires positive data")
+    lx, ly = np.log(xs), np.log(ys)
+    alpha, loga = np.polyfit(lx, ly, 1)
+    return float(alpha), float(math.exp(loga))
+
+
+def fit_exponent_pairs(xs, ys) -> list[float]:
+    """Pairwise log-log slopes between consecutive points -- a quick look
+    at whether the exponent has stabilized along the sweep."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    out = []
+    for i in range(1, xs.size):
+        out.append(float(math.log(ys[i] / ys[i - 1]) / math.log(xs[i] / xs[i - 1])))
+    return out
+
+
+def geometric_sizes(lo: int, hi: int, points: int) -> list[int]:
+    """``points`` roughly geometrically spaced distinct integers in
+    [lo, hi] (inclusive), for sweep definitions."""
+    if lo < 1 or hi < lo or points < 1:
+        raise ValueError("need 1 <= lo <= hi and points >= 1")
+    if points == 1:
+        return [hi]
+    ratio = (hi / lo) ** (1.0 / (points - 1))
+    raw = [lo * ratio**i for i in range(points)]
+    out: list[int] = []
+    for v in raw:
+        iv = max(lo, min(hi, int(round(v))))
+        if not out or iv > out[-1]:
+            out.append(iv)
+    return out

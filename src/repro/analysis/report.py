@@ -1,0 +1,129 @@
+"""Plain-text table rendering for experiment output.
+
+Every bench prints its rows through :class:`Table` so EXPERIMENTS.md and
+the console share one format (GitHub-flavoured markdown pipes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["Table", "format_float", "ascii_histogram", "sparkline"]
+
+
+def format_float(x, digits: int = 3) -> str:
+    """Compact numeric formatting: ints stay ints, floats get ``digits``
+    significant decimals, None becomes '-'."""
+    if x is None:
+        return "-"
+    if isinstance(x, bool):
+        return str(x)
+    if isinstance(x, int):
+        return str(x)
+    if isinstance(x, float):
+        if x == int(x) and abs(x) < 1e15:
+            return str(int(x))
+        return f"{x:.{digits}g}"
+    return str(x)
+
+
+class Table:
+    """A markdown table accumulated row by row.
+
+    >>> t = Table(["N", "Phi"], title="demo")
+    >>> t.add_row([63, 4])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    ### demo
+    | N | Phi |
+    |---|---|
+    | 63 | 4 |
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        self.columns = list(columns)
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable) -> None:
+        """Append one row (values are formatted immediately)."""
+        row = [format_float(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """The table as GitHub-flavoured markdown."""
+        lines = []
+        if self.title:
+            lines.append(f"### {self.title}")
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Render to stdout."""
+        print(self.render())
+
+    def to_csv(self) -> str:
+        """The table as RFC-4180-ish CSV (commas/quotes escaped)."""
+
+        def cell(s: str) -> str:
+            if any(ch in s for ch in ',"\n'):
+                return '"' + s.replace('"', '""') + '"'
+            return s
+
+        lines = [",".join(cell(c) for c in self.columns)]
+        for row in self.rows:
+            lines.append(",".join(cell(c) for c in row))
+        return "\n".join(lines) + "\n"
+
+    def save_csv(self, path: str) -> None:
+        """Write :meth:`to_csv` output to a file."""
+        with open(path, "w") as fh:
+            fh.write(self.to_csv())
+
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values) -> str:
+    """A one-line unicode sparkline of a numeric series (empty-safe)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span == 0:
+        return _BLOCKS[4] * len(vals)
+    out = []
+    for v in vals:
+        idx = 1 + int((v - lo) / span * (len(_BLOCKS) - 2))
+        out.append(_BLOCKS[min(idx, len(_BLOCKS) - 1)])
+    return "".join(out)
+
+
+def ascii_histogram(values, bins: int = 10, width: int = 40) -> str:
+    """A multi-line ASCII histogram of a numeric sample.
+
+    Each row: ``[lo, hi) count  ####...``; bar lengths normalized to
+    ``width`` characters.
+    """
+    import numpy as np
+
+    vals = np.asarray(list(values), dtype=float)
+    if vals.size == 0:
+        return "(empty)"
+    counts, edges = np.histogram(vals, bins=bins)
+    peak = max(1, counts.max())
+    lines = []
+    for i, c in enumerate(counts):
+        bar = "#" * max(0, round(width * c / peak))
+        lines.append(
+            f"[{format_float(float(edges[i]))}, "
+            f"{format_float(float(edges[i + 1]))})  {c:>7}  {bar}"
+        )
+    return "\n".join(lines)

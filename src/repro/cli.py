@@ -1,0 +1,224 @@
+"""Command-line interface: inspect schemes and run accesses from a shell.
+
+Subcommands
+-----------
+``info``      structural parameters of a (q, n) instance;
+``locate``    physical (module, slot) addresses of variables;
+``access``    run a protocol batch over a generated workload and report
+              the cost;
+``sweep``     Phi vs N across n, the Theorem-6 series;
+``expansion`` measure |Gamma(S)| vs the Theorem-4 bound.
+
+Examples::
+
+    python -m repro info -q 2 -n 5
+    python -m repro locate -q 2 -n 5 0 17 4242
+    python -m repro access -q 2 -n 7 --count 4096 --workload strided --op count
+    python -m repro sweep --max-n 7
+    python -m repro expansion -q 2 -n 5 --sizes 16 64 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.core.bounds import expansion_lower_bound, phi_bound
+from repro.core.scheme import PPScheme
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and docs generation)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Pietracaprina-Preparata deterministic shared-memory scheme",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_qn(sp):
+        sp.add_argument("-q", type=int, default=2, help="copies = q+1 (power of 2)")
+        sp.add_argument("-n", type=int, default=5, help="extension degree (>= 3)")
+
+    sp = sub.add_parser("info", help="structural parameters")
+    add_qn(sp)
+
+    sp = sub.add_parser("locate", help="physical copy addresses")
+    add_qn(sp)
+    sp.add_argument("indices", type=int, nargs="+", help="variable indices")
+
+    sp = sub.add_parser("access", help="run one protocol batch")
+    add_qn(sp)
+    sp.add_argument("--count", type=int, default=1024, help="distinct requests")
+    sp.add_argument(
+        "--workload",
+        choices=["uniform", "strided", "hotspot", "neighborhood"],
+        default="uniform",
+    )
+    sp.add_argument("--op", choices=["count", "read", "write"], default="count")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--arbitration", choices=["lowest", "random", "rotating"],
+                    default="lowest")
+
+    sp = sub.add_parser("sweep", help="Phi vs N (Theorem 6 series)")
+    sp.add_argument("--max-n", type=int, default=7, help="largest n (odd, >= 3)")
+    sp.add_argument("--seed", type=int, default=0)
+
+    sp = sub.add_parser("expansion", help="|Gamma(S)| vs Theorem-4 bound")
+    add_qn(sp)
+    sp.add_argument("--sizes", type=int, nargs="+", default=[16, 64, 256])
+    sp.add_argument("--trials", type=int, default=3)
+    sp.add_argument("--seed", type=int, default=0)
+
+    sp = sub.add_parser("verify", help="run the instance self-checks")
+    add_qn(sp)
+    sp.add_argument("--level", choices=["quick", "standard", "full"],
+                    default="quick")
+    sp.add_argument("--seed", type=int, default=0)
+    return p
+
+
+def _cmd_info(args) -> int:
+    s = PPScheme(args.q, args.n)
+    t = Table(["parameter", "value"], title=f"PPScheme(q={args.q}, n={args.n})")
+    for k, v in s.describe().items():
+        t.add_row([k, v])
+    t.print()
+    return 0
+
+
+def _cmd_locate(args) -> int:
+    s = PPScheme(args.q, args.n)
+    t = Table(
+        ["variable", "copy", "module", "slot"],
+        title=f"physical addresses (N={s.N} modules x {s.module_capacity} slots)",
+    )
+    for i in args.indices:
+        if not 0 <= i < s.M:
+            print(f"error: variable {i} out of [0, {s.M})", file=sys.stderr)
+            return 2
+        for j, (u, k) in enumerate(s.locate(i)):
+            t.add_row([i, j, u, k])
+    t.print()
+    return 0
+
+
+def _make_workload(s: PPScheme, args) -> np.ndarray:
+    from repro.workloads.adversarial import pp_module_neighborhood_set
+    from repro.workloads.generators import hotspot_blocks, random_distinct, strided
+
+    if args.workload == "uniform":
+        return random_distinct(s.M, args.count, seed=args.seed)
+    if args.workload == "strided":
+        stride = 7
+        while s.M % stride == 0:
+            stride += 2
+        return strided(s.M, args.count, stride=stride)
+    if args.workload == "hotspot":
+        return hotspot_blocks(
+            s.M, args.count, block=max(64, args.count // 2), n_blocks=4,
+            seed=args.seed,
+        )
+    return pp_module_neighborhood_set(s, args.count)
+
+
+def _cmd_access(args) -> int:
+    s = PPScheme(args.q, args.n, arbitration=args.arbitration)
+    if args.count > min(s.M, s.N):
+        print(
+            f"error: count must be <= min(M, N) = {min(s.M, s.N)}", file=sys.stderr
+        )
+        return 2
+    idx = _make_workload(s, args)
+    kwargs = {}
+    if args.op in ("read", "write"):
+        store = s.make_store()
+        if args.op == "read":
+            s.write(idx, values=idx, store=store, time=1)
+        kwargs = {"store": store, "time": 2}
+        if args.op == "write":
+            kwargs["values"] = idx
+    res = s.access(idx, op=args.op, **kwargs)
+    t = Table(["metric", "value"], title=f"{args.op} of {len(idx)} variables")
+    t.add_row(["phases", len(res.phases)])
+    t.add_row(["iterations/phase", str(res.iterations_per_phase)])
+    t.add_row(["Phi (max)", res.max_phase_iterations])
+    t.add_row(["Theorem-6 shape", round(phi_bound(len(idx), s.q), 1)])
+    t.add_row(["total iterations", res.total_iterations])
+    t.add_row(["modeled MPC steps", res.modeled_steps(s.N)])
+    t.add_row(["copies touched", res.mpc_stats.served])
+    t.add_row(["max module congestion", res.mpc_stats.max_congestion])
+    t.print()
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    t = Table(
+        ["n", "N", "Phi", "bound shape", "total iterations"],
+        title="Phi vs N, full random load (Theorem 6)",
+    )
+    for n in range(3, args.max_n + 1, 2):
+        s = PPScheme(2, n)
+        idx = s.random_request_set(min(s.N, s.M), seed=args.seed)
+        res = s.access(idx, op="count")
+        t.add_row([n, s.N, res.max_phase_iterations,
+                   round(phi_bound(s.N, 2), 1), res.total_iterations])
+    t.print()
+    return 0
+
+
+def _cmd_expansion(args) -> int:
+    s = PPScheme(args.q, args.n)
+    rng = np.random.default_rng(args.seed)
+    t = Table(
+        ["|S|", "min |Gamma(S)|", "Theorem-4 bound", "ratio"],
+        title=f"expansion profile (q={args.q}, n={args.n})",
+    )
+    for size in args.sizes:
+        if size > s.M:
+            continue
+        best = None
+        for _ in range(args.trials):
+            mats = s.graph.random_variable_matrices(size, rng)
+            got = int(np.unique(s.graph.vgamma_variables(mats)).size)
+            best = got if best is None else min(best, got)
+        bound = expansion_lower_bound(size, s.q)
+        t.add_row([size, best, round(bound, 1), round(best / bound, 2)])
+    t.print()
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.core.verification import verify_instance
+
+    rep = verify_instance(args.q, args.n, level=args.level, seed=args.seed)
+    print(rep.render())
+    return 0 if rep.passed else 1
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "locate": _cmd_locate,
+    "access": _cmd_access,
+    "sweep": _cmd_sweep,
+    "expansion": _cmd_expansion,
+    "verify": _cmd_verify,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError,) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

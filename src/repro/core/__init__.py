@@ -1,0 +1,30 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.graph` -- the memory-organization graph ``G(V, U; E)``
+  over cosets of PGL2(q^n) (Section 2), with algebraic neighbor maps
+  (Lemmas 1-3) and vectorized copy->module kernels;
+* :mod:`repro.core.expansion` -- expansion analysis (Theorems 2-5),
+  tight-set constructions, adversarial search;
+* :mod:`repro.core.addressing` -- the Section-4 implementation layer:
+  explicit bijections between indices and cosets, O(log N) rank/unrank,
+  physical copy slots (Lemma 4), field-operation accounting;
+* :mod:`repro.core.protocol` -- the Section-3 clustered majority access
+  protocol on the MPC, with iteration counting and timestamp semantics;
+* :mod:`repro.core.scheme` -- :class:`PPScheme`, the user-facing facade;
+* :mod:`repro.core.bounds` -- the paper's bound formulas (Theorems 1, 6,
+  7, recurrence (2), log*).
+"""
+
+from repro.core.graph import MemoryGraph
+from repro.core.scheme import PPScheme
+from repro.core.addressing import AddressLayer, OpCounter
+from repro.core.protocol import AccessResult, run_access_protocol
+
+__all__ = [
+    "MemoryGraph",
+    "PPScheme",
+    "AddressLayer",
+    "OpCounter",
+    "AccessResult",
+    "run_access_protocol",
+]

@@ -1,0 +1,123 @@
+"""The paper's quantitative bounds, as executable formulas.
+
+Everything the experiments compare measurements against lives here:
+
+* Fact 1 closed forms for |V|, |U| and degrees;
+* Theorem 4 / 5 expansion lower bounds;
+* recurrence (2) ``R_{k+1} <= R_k (1 - c (q / R_k)^{1/3})`` with the
+  paper's constant ``c ~= 0.397``, plus a simulator for it;
+* the Theorem 6 iteration bound ``Phi in O(N^{1/3} log* N)``;
+* the Theorem 1 total-time bound ``O((N')^{1/3} log* N' + log N)``;
+* the Theorem 7 lower bound ``Omega((M/N)^{1/r})`` for exactly-r-copy
+  schemes (and Upfal-Wigderson's ``Omega((M/N)^{1/(2r)})`` for average
+  redundancy r, quoted in the introduction).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.gf.modular import log_star
+
+__all__ = [
+    "fact1_counts",
+    "expansion_lower_bound",
+    "live_expansion_lower_bound",
+    "recurrence_constant",
+    "recurrence_step",
+    "simulate_recurrence",
+    "phi_bound",
+    "total_time_bound",
+    "lower_bound_exact_r",
+    "lower_bound_average_r",
+    "log_star",
+]
+
+#: The paper's contraction constant in recurrence (2).
+RECURRENCE_C = 0.397
+
+
+def fact1_counts(q: int, n: int) -> dict[str, int]:
+    """Fact 1: |V|, |U|, and the two degrees, as exact integers."""
+    qn = q**n
+    return {
+        "V": (qn + 1) * qn * (qn - 1) // ((q + 1) * q * (q - 1)),
+        "U": (qn + 1) * (qn - 1) // (q - 1),
+        "deg_V": q + 1,
+        "deg_U": q ** (n - 1),
+    }
+
+
+def expansion_lower_bound(size: int, q: int) -> float:
+    """Theorem 4: ``|Gamma(S)| >= |S|^{2/3} q / 2^{1/3}``."""
+    return size ** (2.0 / 3.0) * q / 2 ** (1.0 / 3.0)
+
+
+def live_expansion_lower_bound(size: int, q: int) -> float:
+    """Theorem 5 (live copies only): ``|Gamma'(S)| >= |S|^{2/3} q / 4``."""
+    return size ** (2.0 / 3.0) * q / 4.0
+
+
+def recurrence_constant() -> float:
+    """The paper's ``c ~= 0.397`` of recurrence (2)."""
+    return RECURRENCE_C
+
+
+def recurrence_step(r: float, q: int, c: float = RECURRENCE_C) -> float:
+    """One application of recurrence (2):
+    ``R_{k+1} = R_k (1 - c (q / R_k)^{1/3})`` (the paper's upper bound on
+    the number of live variables after one more iteration)."""
+    if r <= 0:
+        return 0.0
+    return r * (1.0 - c * (q / r) ** (1.0 / 3.0))
+
+
+def simulate_recurrence(
+    r0: float, q: int, c: float = RECURRENCE_C, threshold: float = 1.0
+) -> list[float]:
+    """Iterate recurrence (2) from ``R_0 = r0`` until ``R_k <= threshold``.
+
+    Returns the full trajectory ``[R_0, R_1, ...]``; its length - 1 is the
+    predicted worst-case number of protocol iterations in a phase.
+    """
+    traj = [float(r0)]
+    r = float(r0)
+    guard = 0
+    while r > threshold:
+        r = recurrence_step(r, q, c)
+        if r < 0:
+            r = 0.0
+        traj.append(r)
+        guard += 1
+        if guard > 10_000_000:  # pragma: no cover
+            raise RuntimeError("recurrence failed to converge")
+    return traj
+
+
+def phi_bound(n_live: int, q: int) -> float:
+    """Theorem 6 shape: ``Phi <= const * n_live^{1/3} log*(n_live)``
+    (returned without the unspecified constant, i.e. the growth term)."""
+    if n_live <= 1:
+        return 1.0
+    return n_live ** (1.0 / 3.0) * max(1, log_star(n_live))
+
+
+def total_time_bound(n_prime: int, N: int, q: int) -> float:
+    """Theorem 1 shape: ``(N')^{1/3} log* N' + log N`` (growth term)."""
+    return phi_bound(n_prime, q) + math.log2(max(2, N))
+
+
+def lower_bound_exact_r(M: int, N: int, r: int) -> float:
+    """Theorem 7: any scheme with *exactly* r copies per variable needs
+    worst-case access time ``Omega((M/N)^{1/r})`` (growth term)."""
+    if r <= 0:
+        raise ValueError("r must be positive")
+    return (M / N) ** (1.0 / r)
+
+
+def lower_bound_average_r(M: int, N: int, r: float) -> float:
+    """[UW87] (quoted in the introduction): with r copies on *average*,
+    worst-case time is ``Omega((M/N)^{1/(2r)})`` (growth term)."""
+    if r <= 0:
+        raise ValueError("r must be positive")
+    return (M / N) ** (1.0 / (2.0 * r))

@@ -1,0 +1,160 @@
+"""Expansion analysis of the graph G (Theorems 2-5).
+
+Tools to measure ``|Gamma(S)|`` for variable sets S, search for
+adversarially contracting sets, and build the algebraic *tight* sets
+that witness the optimality of Theorem 4 when ``n`` is composite (the
+variables inside an embedded ``PGL2(q^d)`` for a proper divisor ``d | n``
+expand by only ``Theta(|S|^{2/3} q)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import expansion_lower_bound
+from repro.core.graph import MemoryGraph
+from repro.gf.gf2m import GF2m
+from repro.gf.subfield import FieldEmbedding
+from repro.pgl.matrix import Mat
+
+__all__ = [
+    "gamma_size",
+    "gamma_of_set",
+    "sampled_expansion_profile",
+    "greedy_contracting_set",
+    "subgroup_tight_set",
+]
+
+
+def gamma_of_set(graph: MemoryGraph, mats: list[Mat]) -> set[int]:
+    """``Gamma(S)``: the union of module neighbourhoods of the variables."""
+    out: set[int] = set()
+    for A in mats:
+        out.update(graph.gamma_variable(A))
+    return out
+
+
+def gamma_size(graph: MemoryGraph, mats: list[Mat]) -> int:
+    """``|Gamma(S)|``."""
+    return len(gamma_of_set(graph, mats))
+
+
+def sampled_expansion_profile(
+    graph: MemoryGraph,
+    sizes: list[int],
+    rng: np.random.Generator,
+    trials: int = 5,
+) -> list[dict]:
+    """Measure min/mean ``|Gamma(S)|`` over random S of each size.
+
+    Returns one row per size with the Theorem-4 lower bound and the
+    measured min/mean/ratio.  Uses the vectorized neighbour kernel.
+    """
+    rows = []
+    for size in sizes:
+        if size > graph.M:
+            continue
+        observed = []
+        for _ in range(trials):
+            mats = graph.random_variable_matrices(size, rng)
+            mods = graph.vgamma_variables(mats)
+            observed.append(int(np.unique(mods).size))
+        bound = expansion_lower_bound(size, graph.q)
+        rows.append(
+            {
+                "size": size,
+                "bound": bound,
+                "min": min(observed),
+                "mean": float(np.mean(observed)),
+                "min_over_bound": min(observed) / bound,
+            }
+        )
+    return rows
+
+
+def greedy_contracting_set(
+    graph: MemoryGraph, size: int, seed_module: int = 0
+) -> list[Mat]:
+    """Greedy adversarial search for a low-expansion set.
+
+    Starting from the variables of one module, repeatedly add the
+    candidate variable (from the neighbourhoods of already-covered
+    modules) that adds the fewest new modules.  Validation-scale only
+    (cost ~ size * |candidates| * (q+1)).
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    chosen: list[Mat] = []
+    chosen_keys: set[int] = set()
+    covered: set[int] = set()
+    candidates: dict[int, Mat] = {}
+
+    def add_candidates_from_module(u: int) -> None:
+        for mat in graph.gamma_module(u):
+            key = graph.variables.key(mat)
+            if key not in chosen_keys and key not in candidates:
+                candidates[key] = graph.variables.unkey(key)
+
+    add_candidates_from_module(seed_module)
+    while len(chosen) < size:
+        if not candidates:
+            raise ValueError(f"ran out of candidates at |S| = {len(chosen)}")
+        best_key, best_mat, best_new = None, None, None
+        for key, mat in candidates.items():
+            new = sum(1 for u in graph.gamma_variable(mat) if u not in covered)
+            if best_new is None or new < best_new:
+                best_key, best_mat, best_new = key, mat, new
+                if new == 0:
+                    break
+        chosen.append(best_mat)
+        chosen_keys.add(best_key)
+        del candidates[best_key]
+        for u in graph.gamma_variable(best_mat):
+            if u not in covered:
+                covered.add(u)
+                add_candidates_from_module(u)
+    return chosen
+
+
+def subgroup_tight_set(graph: MemoryGraph, d: int) -> list[Mat]:
+    """The Theorem-4 tightness witness for composite ``n``: all variable
+    cosets inside the embedded subgroup ``PGL2(q^d)``, for ``d | n``,
+    ``1 < d < n``.
+
+    ``|S| = |PGL2(q^d)| / |PGL2(q)|`` and ``Gamma(S)`` is (a copy of) the
+    module space of the (q, d) graph, of size ``(q^d+1)(q^d-1)/(q-1) =
+    Theta(|S|^{2/3} q)``.
+    """
+    n, q, k = graph.n, graph.q, graph.k
+    if n % d != 0 or not 1 < d < n:
+        raise ValueError(f"d={d} must be a proper nontrivial divisor of n={n}")
+    Fd = GF2m.get(k * d)
+    emb = FieldEmbedding(Fd, graph.F)
+    # Vectorized enumeration of PGL2(q^d): shapes (a, b, c, 1) with
+    # det != 0 and (a, b, 1, 0) with b != 0, entries embedded into F.
+    kd = Fd.order
+    grid = np.arange(kd, dtype=np.int64)
+    a3, b3, c3 = (x.reshape(-1) for x in np.meshgrid(grid, grid, grid, indexing="ij"))
+    det = Fd.vadd(a3, Fd.vmul(b3, c3))  # det of (a, b; c, 1)
+    ok = det != 0
+    a_all = np.concatenate([a3[ok], np.repeat(grid, kd - 1)])
+    b_all = np.concatenate([b3[ok], np.tile(grid[1:], kd)])
+    c_all = np.concatenate([c3[ok], np.ones((kd - 1) * kd, dtype=np.int64)])
+    d_all = np.concatenate(
+        [np.ones(int(ok.sum()), dtype=np.int64), np.zeros((kd - 1) * kd, dtype=np.int64)]
+    )
+    mats = (
+        emb.vembed(a_all),
+        emb.vembed(b_all),
+        emb.vembed(c_all),
+        emb.vembed(d_all),
+    )
+    keys = np.unique(graph.vkeys(mats))
+    out = [graph.variables.unkey(int(key)) for key in keys]
+    qd = q**d
+    expected = ((qd + 1) * qd * (qd - 1)) // ((q + 1) * q * (q - 1))
+    if len(out) != expected:
+        raise AssertionError(
+            f"tight set has {len(out)} cosets, expected {expected}"
+        )
+    return out

@@ -1,0 +1,316 @@
+"""Section 3: the clustered majority access protocol on the MPC.
+
+Processors are grouped into clusters of ``q + 1``; the protocol runs
+``q + 1`` *phases*, and in phase ``k`` the whole cluster cooperates on
+the variable requested by its k-th member -- processor ``P(i, j)`` is in
+charge of copy ``j`` of variable ``v(i, k)``.  Within a phase the
+processors iterate: every processor whose copy is still alive and whose
+variable is still unsatisfied re-requests its copy's module; each module
+serves one request per iteration; a variable is satisfied once a
+majority ``q/2 + 1`` of its copies has been accessed.
+
+The simulator is fully vectorized: one numpy arbitration pass per
+iteration, so a quarter-million-request access at q = 2 runs in seconds.
+It can run in three modes:
+
+* ``op='count'``  -- iteration counting only (Theorems 5/6 experiments);
+* ``op='write'``  -- winning copies are stamped (value, time) in a
+  :class:`~repro.mpc.memory.SharedCopyStore`;
+* ``op='read'``   -- winning copies are read and each variable returns
+  the value with the freshest timestamp among its accessed majority.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mpc.machine import MPC
+from repro.mpc.memory import SharedCopyStore
+from repro.mpc.stats import MPCStats
+
+__all__ = ["PhaseTrace", "AccessResult", "run_access_protocol"]
+
+#: Values are packed with timestamps into one int64 during reads:
+#: value in [0, 2^32), timestamp in [0, 2^31).
+VALUE_LIMIT = 1 << 32
+
+
+@dataclass
+class PhaseTrace:
+    """Per-phase telemetry.
+
+    ``live_history[k]`` is the number of live (unsatisfied) variables
+    after iteration ``k``; ``live_history[0]`` is the phase's initial
+    variable count, so ``iterations == len(live_history) - 1``.
+    """
+
+    iterations: int
+    live_history: list[int] = field(default_factory=list)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one parallel access operation (a batch of requests)."""
+
+    op: str
+    n_requests: int
+    q: int
+    phases: list[PhaseTrace]
+    values: np.ndarray | None
+    mpc_stats: MPCStats
+    #: request positions that could not reach their quorum because too
+    #: many of their copies sit in failed modules (empty when healthy)
+    unsatisfiable: np.ndarray | None = None
+
+    @property
+    def iterations_per_phase(self) -> list[int]:
+        """Iteration count of each of the q + 1 phases."""
+        return [p.iterations for p in self.phases]
+
+    @property
+    def max_phase_iterations(self) -> int:
+        """``Phi`` -- the paper's per-phase worst case."""
+        return max((p.iterations for p in self.phases), default=0)
+
+    @property
+    def total_iterations(self) -> int:
+        """Total module-cycle count across all phases (the MPC time spent
+        in the iteration loops)."""
+        return sum(p.iterations for p in self.phases)
+
+    def modeled_steps(self, N: int, addressing_steps: int | None = None) -> int:
+        """The paper's cost model ``O(q (Phi log q + log N))``: per phase,
+        every iteration costs a cluster-coordination factor
+        ``ceil(log2(q + 1)) + 1`` and the phase pays one address
+        computation of ``O(log N)`` steps."""
+        coord = math.ceil(math.log2(self.q + 1)) + 1
+        addr = addressing_steps if addressing_steps is not None else math.ceil(
+            math.log2(max(2, N))
+        )
+        return sum(p.iterations * coord + addr for p in self.phases)
+
+
+def run_access_protocol(
+    module_ids: np.ndarray,
+    n_modules: int,
+    majority: int,
+    *,
+    op: str = "count",
+    slots: np.ndarray | None = None,
+    store: SharedCopyStore | None = None,
+    values: np.ndarray | None = None,
+    time: int = 0,
+    arbitration: str = "lowest",
+    seed: int = 0,
+    collect_history: bool = True,
+    max_iterations: int = 10_000_000,
+    n_phases: int | None = None,
+    failed_modules: np.ndarray | None = None,
+    allow_partial: bool = False,
+) -> AccessResult:
+    """Run the q+1-phase majority protocol for one batch of requests.
+
+    Parameters
+    ----------
+    module_ids:
+        ``(V, q+1)`` int64 array: the module of each copy of each of the
+        ``V`` *distinct* requested variables, in copy order.
+    n_modules:
+        Module count ``N`` of the machine.
+    majority:
+        Copies that must be accessed per variable (``q/2 + 1``).
+    op:
+        ``'count'``, ``'read'`` or ``'write'``.
+    slots:
+        ``(V, q+1)`` physical slot of each copy -- required for
+        read/write with a ``store``.
+    store:
+        The timestamped copy cells (required for read/write).
+    values:
+        ``(V,)`` values to write (op='write').
+    time:
+        Logical timestamp for this batch (strictly increase it across
+        batches; reads break ties toward the larger stamp).
+    arbitration, seed:
+        Module arbitration policy (see :mod:`repro.mpc.arbitration`).
+    collect_history:
+        Record the live-variable trajectory R_k of every phase.
+    n_phases:
+        Override the phase count (default ``q + 1``, the paper's cluster
+        structure).  ``n_phases=1`` stresses a single phase with all
+        ``V`` variables live at once -- used by the recurrence-(2)
+        experiments, which need a controlled ``R_0``.
+    failed_modules:
+        Module ids that never serve (fault injection).  A variable
+        remains satisfiable while >= ``majority`` of its copies live in
+        healthy modules -- the fault tolerance the majority discipline
+        inherits from [Tho79].
+    allow_partial:
+        When some variable cannot reach its quorum (too many failed
+        copies): raise :class:`ValueError` if False (default), else
+        finish the others and report the casualties in
+        ``result.unsatisfiable`` (their read values stay -1).
+
+    Returns
+    -------
+    :class:`AccessResult` -- iteration counts, histories, and read values.
+    """
+    module_ids = np.asarray(module_ids, dtype=np.int64)
+    if module_ids.ndim != 2:
+        raise ValueError("module_ids must be (V, q+1)")
+    V, copies = module_ids.shape
+    q = copies - 1
+    if not 1 <= majority <= copies:
+        raise ValueError(f"majority {majority} out of [1, {copies}]")
+    if op not in ("count", "read", "write"):
+        raise ValueError(f"unknown op {op!r}")
+    if op in ("read", "write"):
+        if store is None or slots is None:
+            raise ValueError(f"op={op!r} requires store and slots")
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.shape != module_ids.shape:
+            raise ValueError("slots must match module_ids shape")
+    if op == "write":
+        if values is None:
+            raise ValueError("op='write' requires values")
+        values = np.asarray(values, dtype=np.int64)
+        if values.shape != (V,):
+            raise ValueError("values must be shape (V,)")
+        if np.any((values < 0) | (values >= VALUE_LIMIT)):
+            raise ValueError("write values must be in [0, 2^32)")
+
+    mpc = MPC(n_modules, arbitration=arbitration, seed=seed)
+    out_values = (
+        np.full(V, -1, dtype=np.int64) if op == "read" else None
+    )
+
+    # Fault injection: copies in failed modules are permanently dead.
+    dead_copy = None
+    unsatisfiable = None
+    if failed_modules is not None and len(failed_modules) > 0:
+        failed_mask = np.zeros(n_modules, dtype=bool)
+        failed_mask[np.asarray(failed_modules, dtype=np.int64)] = True
+        dead_copy = failed_mask[module_ids]  # (V, copies)
+        alive_per_var = copies - dead_copy.sum(axis=1)
+        doomed = alive_per_var < majority
+        if np.any(doomed):
+            if not allow_partial:
+                raise ValueError(
+                    f"{int(doomed.sum())} variables cannot reach quorum "
+                    f"{majority} with the given failed modules; pass "
+                    f"allow_partial=True to proceed without them"
+                )
+            unsatisfiable = np.nonzero(doomed)[0].astype(np.int64)
+
+    phase_count = copies if n_phases is None else n_phases
+    if phase_count < 1:
+        raise ValueError("n_phases must be >= 1")
+    phases: list[PhaseTrace] = []
+    for k in range(phase_count):
+        phase_vars = np.arange(V, dtype=np.int64)[
+            np.arange(V) % phase_count == k
+        ]
+        trace = _run_phase(
+            phase_vars,
+            module_ids,
+            slots,
+            mpc,
+            majority,
+            op,
+            store,
+            values,
+            out_values,
+            time,
+            collect_history,
+            max_iterations,
+            dead_copy,
+        )
+        phases.append(trace)
+
+    return AccessResult(
+        op=op,
+        n_requests=V,
+        q=q,
+        phases=phases,
+        values=out_values,
+        mpc_stats=mpc.stats,
+        unsatisfiable=unsatisfiable,
+    )
+
+
+def _run_phase(
+    phase_vars: np.ndarray,
+    module_ids: np.ndarray,
+    slots: np.ndarray | None,
+    mpc: MPC,
+    majority: int,
+    op: str,
+    store: SharedCopyStore | None,
+    values: np.ndarray | None,
+    out_values: np.ndarray | None,
+    time: int,
+    collect_history: bool,
+    max_iterations: int,
+    dead_copy: np.ndarray | None = None,
+) -> PhaseTrace:
+    """One phase: iterate until every variable of the phase is satisfied
+    (or unsatisfiable because its live copies cannot reach the quorum)."""
+    P = phase_vars.shape[0]
+    copies = module_ids.shape[1]
+    history = [P] if collect_history else []
+    if P == 0:
+        return PhaseTrace(iterations=0, live_history=history)
+
+    mods = module_ids[phase_vars]  # (P, copies)
+    slts = slots[phase_vars] if slots is not None else None
+    accessed = np.zeros((P, copies), dtype=bool)
+    hit_count = np.zeros(P, dtype=np.int64)
+    satisfied = np.zeros(P, dtype=bool)
+    doomed = np.zeros(P, dtype=bool)
+    if dead_copy is not None:
+        dead = dead_copy[phase_vars]
+        accessed |= dead  # dead copies are never requested...
+        # ...and variables that cannot reach the quorum are terminally
+        # resolved up front so the phase can end (caller reports them).
+        doomed = (copies - dead.sum(axis=1)) < majority
+        satisfied |= doomed
+    # Read bookkeeping: freshest (stamp, value) packed into one int64.
+    best_packed = np.full(P, -1, dtype=np.int64) if op == "read" else None
+
+    # Flattened task view
+    task_var = np.repeat(np.arange(P, dtype=np.int64), copies)
+    task_copy = np.tile(np.arange(copies, dtype=np.int64), P)
+    task_mod = mods.reshape(-1)
+    task_slot = slts.reshape(-1) if slts is not None else None
+
+    iterations = 0
+    while not np.all(satisfied):
+        if iterations >= max_iterations:  # pragma: no cover
+            raise RuntimeError("protocol exceeded max_iterations")
+        active = (~accessed.reshape(-1)) & (~satisfied[task_var])
+        idx_active = np.nonzero(active)[0]
+        winners_local = mpc.step(task_mod[idx_active])
+        win = idx_active[winners_local]
+        # mark copies accessed
+        accessed[task_var[win], task_copy[win]] = True
+        np.add.at(hit_count, task_var[win], 1)
+        if op == "write":
+            store.write(
+                task_mod[win], task_slot[win], values[phase_vars[task_var[win]]], time
+            )
+        elif op == "read":
+            vals, stamps = store.read(task_mod[win], task_slot[win])
+            packed = np.where(stamps < 0, np.int64(-1), (stamps << 32) | vals)
+            np.maximum.at(best_packed, task_var[win], packed)
+        satisfied = doomed | (hit_count >= majority)
+        iterations += 1
+        if collect_history:
+            history.append(int(np.count_nonzero(~satisfied)))
+
+    if op == "read":
+        read_vals = np.where(best_packed < 0, np.int64(-1), best_packed & 0xFFFFFFFF)
+        out_values[phase_vars] = read_vals
+    return PhaseTrace(iterations=iterations, live_history=history)

@@ -1,0 +1,50 @@
+"""Finite-field arithmetic substrate.
+
+The memory-organization scheme of Pietracaprina & Preparata is built on
+algebra over :math:`\\mathbb{F}_{q^n}` with ``q`` a power of two, and its
+Section-4 addressing layer additionally needs the quadratic extension
+:math:`\\mathbb{F}_{2^{2n}}`.  This package provides:
+
+* :mod:`repro.gf.modular` -- arithmetic mod small primes (gcd, inverse, CRT);
+* :mod:`repro.gf.factor` -- integer factorization (trial division + Pollard
+  rho), needed for primitivity testing;
+* :mod:`repro.gf.poly` -- dense polynomial arithmetic over GF(p);
+* :mod:`repro.gf.irreducible` -- irreducibility / primitivity tests and
+  searches for monic polynomials over GF(p);
+* :mod:`repro.gf.tables` -- precomputed primitive polynomials over GF(2);
+* :mod:`repro.gf.gf2m` -- fast bit-packed GF(2^m) with exp/log tables and
+  numpy-vectorized bulk operations (the hot path of the whole repo);
+* :mod:`repro.gf.field` -- a generic, reference GF(p^m) implementation used
+  to cross-validate the fast one;
+* :mod:`repro.gf.subfield` -- subfield membership, Frobenius, field
+  embeddings, and the (w, 1)-basis decomposition used by the paper's
+  Section 4;
+* :mod:`repro.gf.dlog` -- discrete logarithms (table lookup and BSGS).
+"""
+
+from repro.gf.gf2m import GF2m
+from repro.gf.field import GFpm
+from repro.gf.subfield import FieldEmbedding, frobenius_power, in_subfield
+from repro.gf.poly import Poly
+from repro.gf.irreducible import (
+    is_irreducible,
+    is_primitive,
+    find_irreducible,
+    find_primitive,
+)
+from repro.gf.factorpoly import factor_poly, poly_roots
+
+__all__ = [
+    "GF2m",
+    "GFpm",
+    "FieldEmbedding",
+    "frobenius_power",
+    "in_subfield",
+    "Poly",
+    "is_irreducible",
+    "is_primitive",
+    "find_irreducible",
+    "find_primitive",
+    "factor_poly",
+    "poly_roots",
+]

@@ -1,0 +1,90 @@
+"""Integer factorization (trial division + Pollard rho).
+
+Primitivity of a field generator requires the factorization of
+``p^m - 1``; for the parameter envelope of this repo (``2^{2n} - 1`` with
+``n <= 16``) Pollard rho is instantaneous, but the implementation is fully
+general for 64-bit inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.gf.modular import is_prime
+
+__all__ = ["factorize", "prime_factors", "divisors"]
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97,
+)
+
+
+def _pollard_rho(n: int) -> int:
+    """Return a nontrivial factor of composite odd ``n`` (Brent's variant)."""
+    if n % 2 == 0:
+        return 2
+    # Brent cycle detection with batched gcds; deterministic seed sweep.
+    for c in range(1, 64):
+        y, r, q = 2, 1, 1
+        g = 1
+        x = ys = y
+        while g == 1:
+            x = y
+            for _ in range(r):
+                y = (y * y + c) % n
+            k = 0
+            while k < r and g == 1:
+                ys = y
+                for _ in range(min(128, r - k)):
+                    y = (y * y + c) % n
+                    q = q * abs(x - y) % n
+                g = math.gcd(q, n)
+                k += 128
+            r *= 2
+        if g == n:
+            # Backtrack one step at a time.
+            g = 1
+            while g == 1:
+                ys = (ys * ys + c) % n
+                g = math.gcd(abs(x - ys), n)
+        if g != n:
+            return g
+    raise ArithmeticError(f"pollard rho failed on {n}")  # pragma: no cover
+
+
+def factorize(n: int) -> Counter:
+    """Full prime factorization of ``n >= 1`` as a Counter {prime: exponent}."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    out: Counter = Counter()
+    for p in _SMALL_PRIMES:
+        while n % p == 0:
+            out[p] += 1
+            n //= p
+    stack = [n] if n > 1 else []
+    while stack:
+        m = stack.pop()
+        if m == 1:
+            continue
+        if is_prime(m):
+            out[m] += 1
+            continue
+        d = _pollard_rho(m)
+        stack.append(d)
+        stack.append(m // d)
+    return out
+
+
+def prime_factors(n: int) -> list[int]:
+    """Sorted list of the distinct prime factors of ``n``."""
+    return sorted(factorize(n))
+
+
+def divisors(n: int) -> list[int]:
+    """All positive divisors of ``n``, sorted ascending."""
+    divs = [1]
+    for p, e in factorize(n).items():
+        divs = [d * p**k for d in divs for k in range(e + 1)]
+    return sorted(divs)

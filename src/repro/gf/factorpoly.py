@@ -1,0 +1,171 @@
+"""Polynomial factorization over GF(p).
+
+The full classical pipeline -- squarefree decomposition, distinct-degree
+factorization, and equal-degree splitting (Cantor-Zassenhaus, with the
+trace-map variant for characteristic 2) -- plus root extraction.  Used
+by the test suite to validate minimal polynomials and subfield
+structure independently of the table-based field code.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.gf.poly import Poly
+
+__all__ = [
+    "squarefree_decomposition",
+    "distinct_degree_factorization",
+    "equal_degree_factorization",
+    "factor_poly",
+    "poly_roots",
+]
+
+
+def _pth_root(f: Poly) -> Poly:
+    """For ``f`` with only p-th power terms, the polynomial g with
+    ``g^p == f`` (coefficientwise p-th root; identity map on GF(p))."""
+    p = f.p
+    coeffs = []
+    for i in range(0, len(f.coeffs), p):
+        coeffs.append(f.coeffs[i])
+    return Poly(coeffs, p)
+
+
+def squarefree_decomposition(f: Poly) -> list[tuple[Poly, int]]:
+    """Yun-style squarefree decomposition of a monic polynomial.
+
+    Returns ``[(g_i, e_i)]`` with ``f == prod g_i^{e_i}``, the ``g_i``
+    squarefree, pairwise coprime, and non-constant.
+    """
+    if f.is_zero() or f.degree < 1:
+        return []
+    f = f.monic()
+    p = f.p
+    out: list[tuple[Poly, int]] = []
+
+    def rec(f: Poly, mult: int) -> None:
+        if f.degree < 1:
+            return
+        df = f.derivative()
+        if df.is_zero():
+            # f is a p-th power
+            rec(_pth_root(f), mult * p)
+            return
+        c = f.gcd(df)
+        w = f // c
+        i = 1
+        while w.degree >= 1:
+            y = w.gcd(c)
+            z = w // y
+            if z.degree >= 1:
+                out.append((z.monic(), i * mult))
+            w = y
+            c = c // y
+            i += 1
+        if c.degree >= 1:
+            # c now holds exactly the factors whose multiplicity is a
+            # multiple of p: take the coefficientwise p-th root first.
+            rec(_pth_root(c), mult * p)
+
+    rec(f, 1)
+    # merge duplicates
+    merged: dict[Poly, int] = {}
+    for g, e in out:
+        merged[g] = merged.get(g, 0) + e if g in merged else e
+    return sorted(merged.items(), key=lambda t: (t[0].degree, t[0].coeffs))
+
+
+def distinct_degree_factorization(f: Poly) -> list[tuple[Poly, int]]:
+    """For squarefree monic ``f``: returns ``[(f_d, d)]`` where ``f_d``
+    is the product of all irreducible factors of degree exactly ``d``."""
+    p = f.p
+    f = f.monic()
+    out = []
+    h = Poly.x(p)
+    x = Poly.x(p)
+    rest = f
+    d = 0
+    while rest.degree >= 2 * (d + 1):
+        d += 1
+        h = h.pow_mod(p, rest)
+        g = rest.gcd(h - x)
+        if g.degree >= 1:
+            out.append((g, d))
+            rest = rest // g
+            h = h % rest
+    if rest.degree >= 1:
+        out.append((rest, rest.degree))
+    return out
+
+
+def equal_degree_factorization(
+    f: Poly, d: int, rng: random.Random | None = None
+) -> list[Poly]:
+    """Split monic squarefree ``f`` whose irreducible factors all have
+    degree ``d`` into those factors (Cantor-Zassenhaus).
+
+    Characteristic 2 uses the trace map ``T(a) = a + a^2 + ... +
+    a^{2^{d-1}}``; odd characteristic the exponent ``(p^d - 1)/2``.
+    """
+    if rng is None:
+        rng = random.Random(0xC0FFEE)
+    p = f.p
+    f = f.monic()
+    if f.degree == d:
+        return [f]
+    if f.degree % d != 0:
+        raise ValueError(f"degree {f.degree} is not a multiple of {d}")
+
+    def split(g: Poly) -> list[Poly]:
+        if g.degree == d:
+            return [g]
+        while True:
+            a = Poly([rng.randrange(p) for _ in range(g.degree)], p)
+            if a.degree < 1:
+                continue
+            if p == 2:
+                t = a
+                acc = a
+                for _ in range(d - 1):
+                    acc = acc.pow_mod(2, g)
+                    t = (t + acc) % g
+                cand = g.gcd(t)
+            else:
+                e = (p**d - 1) // 2
+                cand = g.gcd(a.pow_mod(e, g) - Poly.one(p))
+            if 1 <= cand.degree < g.degree:
+                return split(cand.monic()) + split((g // cand).monic())
+
+    return split(f)
+
+
+def factor_poly(f: Poly, rng: random.Random | None = None) -> Counter:
+    """Full factorization of a non-constant polynomial over GF(p):
+    Counter {irreducible monic factor: multiplicity} (leading
+    coefficient is discarded -- factors are monic)."""
+    if f.is_zero():
+        raise ValueError("cannot factor the zero polynomial")
+    out: Counter = Counter()
+    for g, e in squarefree_decomposition(f):
+        for prod, d in distinct_degree_factorization(g):
+            for irr in equal_degree_factorization(prod, d, rng):
+                out[irr] += e
+    return out
+
+
+def poly_roots(f: Poly) -> list[int]:
+    """All roots of ``f`` in GF(p), with multiplicity, sorted.
+
+    Reads the degree-1 factors: the factor ``x + c`` has root ``-c``.
+    """
+
+
+    roots: list[int] = []
+    for g, e in factor_poly(f).items():
+        if g.degree == 1:
+            # monic: x + c  =>  root = -c mod p
+            c = g.coeffs[0] if len(g.coeffs) > 1 else 0
+            roots.extend([(-c) % f.p] * e)
+    return sorted(roots)

@@ -1,0 +1,132 @@
+"""Generic reference implementation of GF(p^m).
+
+Slower than :class:`repro.gf.gf2m.GF2m` (polynomial arithmetic instead
+of table lookups) but valid for any prime characteristic and any modulus,
+irreducible or primitive.  Used by the test suite to cross-validate the
+fast field and by components that only touch a handful of elements.
+
+Elements are packed as integers whose base-``p`` digits are the
+polynomial coefficients (for ``p = 2`` this coincides exactly with the
+GF2m bit packing, so the two implementations are directly comparable).
+"""
+
+from __future__ import annotations
+
+from repro.gf.poly import Poly
+
+__all__ = ["GFpm"]
+
+
+class GFpm:
+    """The field GF(p^m) = GF(p)[x]/(modulus), reference implementation."""
+
+    def __init__(self, p: int, m: int, modulus: Poly | None = None):
+        from repro.gf.modular import is_prime
+
+        if not is_prime(p):
+            raise ValueError(f"characteristic {p} is not prime")
+        if m < 1:
+            raise ValueError("extension degree m must be >= 1")
+        if modulus is None:
+            from repro.gf.irreducible import find_primitive
+
+            modulus = find_primitive(p, m)
+        if modulus.p != p or modulus.degree != m or not modulus.is_monic():
+            raise ValueError("modulus must be monic of degree m over GF(p)")
+        from repro.gf.irreducible import is_irreducible
+
+        if not is_irreducible(modulus):
+            raise ValueError(f"modulus {modulus!r} is reducible")
+        self.p = p
+        self.m = m
+        self.order = p**m
+        self.group_order = self.order - 1
+        self.modulus = modulus
+
+    # -- int <-> Poly packing -------------------------------------------
+
+    def _decode(self, a: int) -> Poly:
+        if not 0 <= a < self.order:
+            raise ValueError(f"element {a} out of range [0, {self.order})")
+        return Poly.from_int(a, self.p)
+
+    def _encode(self, f: Poly) -> int:
+        return (f % self.modulus).to_int()
+
+    # -- arithmetic ------------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition."""
+        return self._encode(self._decode(a) + self._decode(b))
+
+    def sub(self, a: int, b: int) -> int:
+        """Field subtraction."""
+        return self._encode(self._decode(a) - self._decode(b))
+
+    def neg(self, a: int) -> int:
+        """Additive inverse."""
+        return self._encode(-self._decode(a))
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        return self._encode(self._decode(a) * self._decode(b))
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse via Fermat (a^(p^m - 2))."""
+        if a == 0:
+            raise ZeroDivisionError("inverse of 0 in GF(p^m)")
+        return self.pow(a, self.group_order - 1)
+
+    def div(self, a: int, b: int) -> int:
+        """Field division a / b."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        """``a**e`` for integer e (negative allowed for nonzero a)."""
+        if e < 0:
+            return self.pow(self.inv(a), -e)
+        if a == 0:
+            return 1 if e == 0 else 0
+        return self._encode(self._decode(a).pow_mod(e, self.modulus))
+
+    def element_order(self, a: int) -> int:
+        """Multiplicative order of a nonzero element."""
+        if a == 0:
+            raise ValueError("0 has no multiplicative order")
+        from repro.gf.factor import factorize
+
+        order = self.group_order
+        for prime, exp in factorize(order).items():
+            for _ in range(exp):
+                if self.pow(a, order // prime) == 1:
+                    order //= prime
+                else:
+                    break
+        return order
+
+    def is_primitive_element(self, a: int) -> bool:
+        """True iff ``a`` generates the multiplicative group."""
+        return a != 0 and self.element_order(a) == self.group_order
+
+    def find_generator(self) -> int:
+        """Smallest (in int packing) generator of the multiplicative group."""
+        for a in range(1, self.order):
+            if self.is_primitive_element(a):
+                return a
+        raise ArithmeticError("no generator found")  # pragma: no cover
+
+    def elements(self) -> range:
+        """All elements as their integer packings."""
+        return range(self.order)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GFpm)
+            and (self.p, self.m, self.modulus) == (other.p, other.m, other.modulus)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("GFpm", self.p, self.m, self.modulus))
+
+    def __repr__(self) -> str:
+        return f"GFpm(p={self.p}, m={self.m}, modulus={self.modulus!r})"

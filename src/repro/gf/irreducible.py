@@ -1,0 +1,114 @@
+"""Irreducibility and primitivity of polynomials over GF(p).
+
+A degree-``m`` monic polynomial ``f`` over GF(p) defines GF(p^m) as
+``GF(p)[x]/(f)``; ``f`` is *primitive* when the residue of ``x`` generates
+the multiplicative group, which is what the paper's constructions assume
+(a primitive element :math:`\\gamma` of :math:`\\mathbb{F}_{q^n}`, a
+generator :math:`\\lambda` of :math:`\\mathbb{F}_{2^{2n}}^*`).
+"""
+
+from __future__ import annotations
+
+from repro.gf.factor import prime_factors
+from repro.gf.poly import Poly
+
+__all__ = ["is_irreducible", "is_primitive", "find_irreducible", "find_primitive"]
+
+
+def is_irreducible(f: Poly) -> bool:
+    """Rabin's irreducibility test for a monic polynomial over GF(p).
+
+    ``f`` of degree m is irreducible iff ``x^(p^m) == x (mod f)`` and, for
+    every prime divisor ``d`` of ``m``, ``gcd(x^(p^(m/d)) - x, f) == 1``.
+    """
+    p, m = f.p, f.degree
+    if m <= 0:
+        return False
+    if m == 1:
+        return True
+    if not f.is_monic():
+        f = f.monic()
+    if f.coeffs[0] == 0:  # divisible by x
+        return False
+    x = Poly.x(p)
+    for d in prime_factors(m):
+        h = x.pow_mod(p ** (m // d), f) - x
+        if f.gcd(h).degree != 0:
+            return False
+    return x.pow_mod(p**m, f) == x % f
+
+
+def is_primitive(f: Poly) -> bool:
+    """True iff monic irreducible ``f`` has the residue of x as a generator
+    of GF(p^m)^*, i.e. ord(x) = p^m - 1 in GF(p)[x]/(f).
+    """
+    if not is_irreducible(f):
+        return False
+    p, m = f.p, f.degree
+    order = p**m - 1
+    x = Poly.x(p)
+    one = Poly.one(p)
+    for r in prime_factors(order):
+        if x.pow_mod(order // r, f) == one:
+            return False
+    return True
+
+
+def _candidates(p: int, m: int):
+    """Yield monic degree-m polynomials over GF(p) with nonzero constant
+    term, sparsest (fewest middle terms) first for p=2."""
+    if p == 2:
+        # Trinomials and then general masks ordered by popcount.
+        import itertools
+
+        middle_positions = list(range(1, m))
+        for k in range(0, m):
+            for combo in itertools.combinations(middle_positions, k):
+                coeffs = [0] * (m + 1)
+                coeffs[0] = 1
+                coeffs[m] = 1
+                for pos in combo:
+                    coeffs[pos] = 1
+                yield Poly(coeffs, 2)
+    else:
+        total = p**m
+        for mask in range(total):
+            digits = []
+            v = mask
+            for _ in range(m):
+                v, d = divmod(v, p)
+                digits.append(d)
+            if digits[0] == 0:
+                continue
+            yield Poly(digits + [1], p)
+
+
+def find_irreducible(p: int, m: int) -> Poly:
+    """Find some monic irreducible polynomial of degree ``m`` over GF(p)."""
+    for f in _candidates(p, m):
+        if is_irreducible(f):
+            return f
+    raise ArithmeticError(
+        f"no irreducible polynomial of degree {m} over GF({p})"
+    )  # pragma: no cover -- they always exist
+
+
+def find_primitive(p: int, m: int) -> Poly:
+    """Find some monic *primitive* polynomial of degree ``m`` over GF(p).
+
+    For p=2 this first consults the precomputed table in
+    :mod:`repro.gf.tables` so that field construction is deterministic and
+    fast for every degree used by the experiments.
+    """
+    if p == 2:
+        from repro.gf.tables import PRIMITIVE_POLY_GF2
+
+        mask = PRIMITIVE_POLY_GF2.get(m)
+        if mask is not None:
+            return Poly.from_int(mask, 2)
+    for f in _candidates(p, m):
+        if is_primitive(f):
+            return f
+    raise ArithmeticError(
+        f"no primitive polynomial of degree {m} over GF({p})"
+    )  # pragma: no cover

@@ -1,0 +1,104 @@
+"""Modular integer arithmetic helpers.
+
+Small, dependency-free number-theory routines used across the ``gf``
+package: extended gcd, modular inverse, deterministic Miller-Rabin
+primality for 64-bit-ish integers, and an iterated-log helper that the
+protocol analysis (Theorem 6, ``log* N``) also reuses.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "egcd",
+    "modinv",
+    "is_prime",
+    "log_star",
+    "int_nth_root",
+]
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: return ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        quot = old_r // r
+        old_r, r = r, old_r - quot * r
+        old_s, s = s, old_s - quot * s
+        old_t, t = t, old_t - quot * t
+    return old_r, old_s, old_t
+
+
+def modinv(a: int, m: int) -> int:
+    """Multiplicative inverse of ``a`` modulo ``m``.
+
+    Raises :class:`ValueError` when ``gcd(a, m) != 1``.
+    """
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {m} (gcd={g})")
+    return x % m
+
+
+# Deterministic Miller-Rabin witnesses covering all n < 3.3 * 10^24
+# (Sorenson & Webster); far beyond anything this repo factors.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin primality test (exact for n < 3.3e24)."""
+    if n < 2:
+        return False
+    for p in _MR_WITNESSES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def log_star(n: float, base: float = 2.0) -> int:
+    """Iterated logarithm ``log* n``: how many times ``log`` must be applied
+    before the value drops to <= 1.
+
+    Used by the Theorem-6 bound ``Phi in O(N^{1/3} log* N)``.
+    """
+    if n <= 1:
+        return 0
+    count = 0
+    x = float(n)
+    while x > 1.0:
+        x = math.log(x, base)
+        count += 1
+    return count
+
+
+def int_nth_root(x: int, n: int) -> int:
+    """Floor of the n-th root of a nonnegative integer, exact (no float error)."""
+    if x < 0:
+        raise ValueError("x must be nonnegative")
+    if x == 0:
+        return 0
+    guess = int(round(x ** (1.0 / n)))
+    # Newton-polish around the float estimate.
+    while guess > 0 and guess**n > x:
+        guess -= 1
+    while (guess + 1) ** n <= x:
+        guess += 1
+    return guess

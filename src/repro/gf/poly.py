@@ -1,0 +1,237 @@
+"""Dense univariate polynomials over the prime field GF(p).
+
+Coefficients are stored little-endian (``coeffs[i]`` multiplies ``x^i``)
+in a normalized tuple with no trailing zeros, so polynomials are hashable
+and usable as dict keys.  This is the *reference* layer: it is used to
+find and verify irreducible/primitive moduli and to cross-check the fast
+bit-packed GF(2^m) implementation; the simulator hot paths never touch it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["Poly"]
+
+
+def _trim(coeffs: Sequence[int]) -> tuple[int, ...]:
+    i = len(coeffs)
+    while i > 0 and coeffs[i - 1] == 0:
+        i -= 1
+    return tuple(coeffs[:i])
+
+
+class Poly:
+    """An immutable polynomial over GF(p).
+
+    Supports ring arithmetic (+, -, *, divmod, %, pow), modular
+    exponentiation, gcd, evaluation, and derivative -- everything the
+    irreducibility and primitivity tests need.
+    """
+
+    __slots__ = ("p", "coeffs")
+
+    def __init__(self, coeffs: Iterable[int], p: int):
+        if p < 2:
+            raise ValueError("characteristic p must be >= 2")
+        self.p = p
+        self.coeffs = _trim([c % p for c in coeffs])
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def zero(cls, p: int) -> "Poly":
+        """The zero polynomial over GF(p)."""
+        return cls((), p)
+
+    @classmethod
+    def one(cls, p: int) -> "Poly":
+        """The constant polynomial 1 over GF(p)."""
+        return cls((1,), p)
+
+    @classmethod
+    def x(cls, p: int) -> "Poly":
+        """The monomial x over GF(p)."""
+        return cls((0, 1), p)
+
+    @classmethod
+    def monomial(cls, deg: int, p: int, coeff: int = 1) -> "Poly":
+        """``coeff * x^deg`` over GF(p)."""
+        return cls((0,) * deg + (coeff,), p)
+
+    @classmethod
+    def from_int(cls, value: int, p: int) -> "Poly":
+        """Decode an integer whose base-``p`` digits are the coefficients.
+
+        This is the packing used throughout the repo to store field
+        elements as plain ints (for p=2 it is the usual bit packing).
+        """
+        if value < 0:
+            raise ValueError("value must be nonnegative")
+        digits = []
+        while value:
+            value, d = divmod(value, p)
+            digits.append(d)
+        return cls(digits, p)
+
+    def to_int(self) -> int:
+        """Inverse of :meth:`from_int`: pack coefficients as base-p digits."""
+        out = 0
+        for c in reversed(self.coeffs):
+            out = out * self.p + c
+        return out
+
+    # -- basic structure ----------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; the zero polynomial has degree -1."""
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        """True iff this is the zero polynomial."""
+        return not self.coeffs
+
+    def is_monic(self) -> bool:
+        """True iff the leading coefficient is 1 (zero poly is not monic)."""
+        return bool(self.coeffs) and self.coeffs[-1] == 1
+
+    def leading(self) -> int:
+        """Leading coefficient (0 for the zero polynomial)."""
+        return self.coeffs[-1] if self.coeffs else 0
+
+    def monic(self) -> "Poly":
+        """Scale to a monic polynomial (identity on the zero polynomial)."""
+        if self.is_zero() or self.coeffs[-1] == 1:
+            return self
+        from repro.gf.modular import modinv
+
+        inv = modinv(self.coeffs[-1], self.p)
+        return Poly([c * inv for c in self.coeffs], self.p)
+
+    # -- ring operations ----------------------------------------------
+
+    def _check(self, other: "Poly") -> None:
+        if self.p != other.p:
+            raise ValueError(f"mixed characteristics {self.p} and {other.p}")
+
+    def __add__(self, other: "Poly") -> "Poly":
+        self._check(other)
+        a, b = self.coeffs, other.coeffs
+        if len(a) < len(b):
+            a, b = b, a
+        out = list(a)
+        for i, c in enumerate(b):
+            out[i] = (out[i] + c) % self.p
+        return Poly(out, self.p)
+
+    def __neg__(self) -> "Poly":
+        return Poly([-c for c in self.coeffs], self.p)
+
+    def __sub__(self, other: "Poly") -> "Poly":
+        return self + (-other)
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        self._check(other)
+        if self.is_zero() or other.is_zero():
+            return Poly.zero(self.p)
+        out = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                out[i + j] = (out[i + j] + a * b) % self.p
+        return Poly(out, self.p)
+
+    def scale(self, k: int) -> "Poly":
+        """Multiply every coefficient by the scalar ``k``."""
+        return Poly([c * k for c in self.coeffs], self.p)
+
+    def __divmod__(self, other: "Poly") -> tuple["Poly", "Poly"]:
+        self._check(other)
+        if other.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        from repro.gf.modular import modinv
+
+        p = self.p
+        rem = list(self.coeffs)
+        dq = len(self.coeffs) - len(other.coeffs)
+        if dq < 0:
+            return Poly.zero(p), self
+        quot = [0] * (dq + 1)
+        inv_lead = modinv(other.coeffs[-1], p)
+        for i in range(dq, -1, -1):
+            coef = rem[i + other.degree] * inv_lead % p
+            if coef:
+                quot[i] = coef
+                for j, b in enumerate(other.coeffs):
+                    rem[i + j] = (rem[i + j] - coef * b) % p
+        return Poly(quot, p), Poly(rem, p)
+
+    def __floordiv__(self, other: "Poly") -> "Poly":
+        return divmod(self, other)[0]
+
+    def __mod__(self, other: "Poly") -> "Poly":
+        return divmod(self, other)[1]
+
+    def pow_mod(self, exp: int, modulus: "Poly") -> "Poly":
+        """``self**exp mod modulus`` by square-and-multiply."""
+        if exp < 0:
+            raise ValueError("negative exponent")
+        result = Poly.one(self.p)
+        base = self % modulus
+        while exp:
+            if exp & 1:
+                result = (result * base) % modulus
+            base = (base * base) % modulus
+            exp >>= 1
+        return result
+
+    def gcd(self, other: "Poly") -> "Poly":
+        """Monic greatest common divisor."""
+        a, b = self, other
+        while not b.is_zero():
+            a, b = b, a % b
+        return a.monic() if not a.is_zero() else a
+
+    # -- calculus / evaluation ----------------------------------------
+
+    def derivative(self) -> "Poly":
+        """Formal derivative."""
+        return Poly(
+            [(i * c) % self.p for i, c in enumerate(self.coeffs)][1:], self.p
+        )
+
+    def __call__(self, x: int) -> int:
+        """Evaluate at a scalar in GF(p) (Horner)."""
+        acc = 0
+        for c in reversed(self.coeffs):
+            acc = (acc * x + c) % self.p
+        return acc
+
+    # -- dunder plumbing ----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Poly)
+            and self.p == other.p
+            and self.coeffs == other.coeffs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.p, self.coeffs))
+
+    def __repr__(self) -> str:
+        if self.is_zero():
+            return f"Poly(0; GF({self.p}))"
+        terms = []
+        for i, c in enumerate(self.coeffs):
+            if c == 0:
+                continue
+            if i == 0:
+                terms.append(str(c))
+            elif i == 1:
+                terms.append(f"{c if c != 1 else ''}x")
+            else:
+                terms.append(f"{c if c != 1 else ''}x^{i}")
+        return f"Poly({' + '.join(terms)}; GF({self.p}))"

@@ -1,0 +1,39 @@
+"""Precomputed primitive polynomials over GF(2).
+
+``PRIMITIVE_POLY_GF2[m]`` is the bit mask (little-endian coefficient
+packing, bit i = coefficient of x^i) of a primitive polynomial of degree
+``m``.  These are the classic low-weight primitive polynomials (e.g.
+x^4 + x + 1 for m=4); every entry is re-verified by the test suite via
+:func:`repro.gf.irreducible.is_primitive`.
+
+Having a fixed table makes field construction deterministic across runs,
+which matters because variable/module indices (Section 4 of the paper)
+depend on the chosen generator.
+"""
+
+PRIMITIVE_POLY_GF2: dict[int, int] = {
+    1: 0b11,                      # x + 1
+    2: 0b111,                     # x^2 + x + 1
+    3: 0b1011,                    # x^3 + x + 1
+    4: 0b10011,                   # x^4 + x + 1
+    5: 0b100101,                  # x^5 + x^2 + 1
+    6: 0b1000011,                 # x^6 + x + 1
+    7: 0b10000011,                # x^7 + x + 1
+    8: 0b100011101,               # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b1000010001,              # x^9 + x^4 + 1
+    10: 0b10000001001,            # x^10 + x^3 + 1
+    11: 0b100000000101,           # x^11 + x^2 + 1
+    12: 0b1000001010011,          # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,         # x^13 + x^4 + x^3 + x + 1
+    14: 0b100010001000011,        # x^14 + x^10 + x^6 + x + 1
+    15: 0b1000000000000011,       # x^15 + x + 1
+    16: 0b10001000000001011,      # x^16 + x^12 + x^3 + x + 1
+    17: 0b100000000000001001,     # x^17 + x^3 + 1
+    18: 0b1000000000010000001,    # x^18 + x^7 + 1
+    19: 0b10000000000000100111,   # x^19 + x^5 + x^2 + x + 1
+    20: 0b100000000000000001001,  # x^20 + x^3 + 1
+    21: 0b1000000000000000000101,   # x^21 + x^2 + 1
+    22: 0b10000000000000000000011,  # x^22 + x + 1
+    23: 0b100000000000000000100001, # x^23 + x^5 + 1
+    24: 0b1000000000000000010000111,# x^24 + x^7 + x^2 + x + 1
+}

@@ -1,0 +1,19 @@
+"""A parallel key-value store on top of the memory organization.
+
+The paper's introduction names "parallel databases" next to PRAMs as
+the setting where the granularity problem arises, and its majority
+machinery descends from Thomas's replicated-database quorums [Tho79].
+This package closes that loop with an application-level store:
+
+* keys are hashed into an open-addressed table whose *slots are shared
+  variables* of any :class:`~repro.schemes.base.MemoryScheme`;
+* every batch of puts/gets is executed as rounds of parallel variable
+  accesses through the majority protocol on the MPC, so the store pays
+  (and reports) real simulated machine time;
+* replication comes for free: the store survives module failures
+  exactly as far as the underlying scheme's quorums allow.
+"""
+
+from repro.kvstore.store import ParallelKVStore
+
+__all__ = ["ParallelKVStore"]

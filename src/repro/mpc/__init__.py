@@ -1,0 +1,22 @@
+"""Module Parallel Computer (MPC) simulator.
+
+The MPC [MV84] is the abstract machine of the paper: ``N`` processors
+and ``N`` memory modules joined by a complete bipartite interconnect;
+in each synchronous time step a module fulfills at most one read/write
+request.  Access time for a request set is therefore the number of
+simulated steps, which this package counts exactly.
+
+* :mod:`repro.mpc.arbitration` -- per-step one-winner-per-module
+  selection policies (deterministic lowest-id, seeded random, rotating);
+* :mod:`repro.mpc.machine` -- the synchronous machine: step loop,
+  conflict resolution, statistics;
+* :mod:`repro.mpc.memory` -- timestamped module storage (the copy cells);
+* :mod:`repro.mpc.stats` -- counters and per-step histories.
+"""
+
+from repro.mpc.machine import MPC
+from repro.mpc.memory import SharedCopyStore
+from repro.mpc.stats import MPCStats
+from repro.mpc.arbitration import make_arbiter, Arbiter
+
+__all__ = ["MPC", "SharedCopyStore", "MPCStats", "make_arbiter", "Arbiter"]

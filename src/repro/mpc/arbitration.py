@@ -1,0 +1,88 @@
+"""Arbitration policies: one request per module per MPC step.
+
+When several processors address the same module in a step, exactly one
+is served.  The paper's analysis is policy-independent (it only uses
+"the number of copies accessed equals the number of modules receiving
+requests"), but the simulator lets experiments check that measured
+iteration counts are robust across policies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+__all__ = ["Arbiter", "LowestIdArbiter", "RandomArbiter", "RotatingArbiter", "make_arbiter"]
+
+
+class Arbiter(Protocol):
+    """Callable protocol: select winners among simultaneous requests."""
+
+    def __call__(self, module_ids: np.ndarray) -> np.ndarray:
+        """Given the module id of every pending request (one entry per
+        requesting processor, in processor order), return the indices of
+        the winning requests -- exactly one per distinct module."""
+        ...
+
+
+def _first_of_each_module(order: np.ndarray, module_ids: np.ndarray) -> np.ndarray:
+    """Winners = the first request of each module along ``order``."""
+    sorted_mods = module_ids[order]
+    is_first = np.empty(sorted_mods.shape, dtype=bool)
+    is_first[:1] = True
+    np.not_equal(sorted_mods[1:], sorted_mods[:-1], out=is_first[1:])
+    return order[is_first]
+
+
+class LowestIdArbiter:
+    """Deterministic: the lowest-index request wins each module."""
+
+    def __call__(self, module_ids: np.ndarray) -> np.ndarray:
+        order = np.argsort(module_ids, kind="stable")
+        return _first_of_each_module(order, module_ids)
+
+
+class RandomArbiter:
+    """Seeded uniform arbitration: a random pending request wins."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = np.random.default_rng(seed)
+
+    def __call__(self, module_ids: np.ndarray) -> np.ndarray:
+        prio = self.rng.permutation(module_ids.shape[0])
+        order = np.lexsort((prio, module_ids))
+        return _first_of_each_module(order, module_ids)
+
+
+class RotatingArbiter:
+    """Round-robin: priority rotates by an increasing offset each step,
+    so no processor is persistently favoured."""
+
+    def __init__(self):
+        self.offset = 0
+
+    def __call__(self, module_ids: np.ndarray) -> np.ndarray:
+        k = module_ids.shape[0]
+        if k == 0:
+            return np.empty(0, dtype=np.int64)
+        prio = (np.arange(k) + self.offset) % k
+        self.offset += 1
+        order = np.lexsort((prio, module_ids))
+        return _first_of_each_module(order, module_ids)
+
+
+_POLICIES: dict[str, Callable[..., Arbiter]] = {
+    "lowest": LowestIdArbiter,
+    "random": RandomArbiter,
+    "rotating": RotatingArbiter,
+}
+
+
+def make_arbiter(policy: str = "lowest", seed: int = 0) -> Arbiter:
+    """Factory for arbitration policies: 'lowest', 'random', 'rotating'."""
+    if policy not in _POLICIES:
+        raise ValueError(f"unknown arbitration policy {policy!r}; options: {sorted(_POLICIES)}")
+    if policy == "random":
+        return RandomArbiter(seed)
+    return _POLICIES[policy]()

@@ -1,0 +1,93 @@
+"""The synchronous Module Parallel Computer.
+
+An :class:`MPC` executes steps: in a step every active processor
+addresses one module, and each module serves exactly one of its pending
+requests (chosen by the arbitration policy).  The machine enforces the
+one-access-per-module-per-step contract, counts time, and reports
+congestion -- the quantities all of the paper's bounds are about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpc.arbitration import Arbiter, make_arbiter
+from repro.mpc.stats import MPCStats
+
+__all__ = ["MPC"]
+
+
+class MPC:
+    """N processors / N modules, complete interconnect, unit-time modules.
+
+    Parameters
+    ----------
+    n_modules:
+        Number of memory modules (the paper also sets the number of
+        processors to this value, but the machine accepts any number of
+        simultaneous requests -- processors are implicit).
+    arbitration:
+        Policy name: ``'lowest'`` (deterministic), ``'random'``,
+        ``'rotating'``; see :mod:`repro.mpc.arbitration`.
+    seed:
+        Seed for the random policy.
+    history:
+        Keep a per-step served-count history in :attr:`stats`.
+    """
+
+    def __init__(
+        self,
+        n_modules: int,
+        arbitration: str | Arbiter = "lowest",
+        seed: int = 0,
+        history: bool = False,
+    ):
+        if n_modules <= 0:
+            raise ValueError("n_modules must be positive")
+        self.n_modules = n_modules
+        self.arbiter: Arbiter = (
+            make_arbiter(arbitration, seed)
+            if isinstance(arbitration, str)
+            else arbitration
+        )
+        self.stats = MPCStats(keep_history=history)
+
+    def step(self, module_ids: np.ndarray) -> np.ndarray:
+        """Execute one synchronous step.
+
+        Parameters
+        ----------
+        module_ids:
+            int64 array; entry ``i`` is the module addressed by pending
+            request ``i`` (processor order).
+
+        Returns
+        -------
+        Indices (into ``module_ids``) of the requests served this step --
+        exactly one per distinct module.
+        """
+        module_ids = np.asarray(module_ids, dtype=np.int64)
+        if module_ids.size == 0:
+            # An idle step still advances time.
+            self.stats.record_step(0, 0, 0)
+            return np.empty(0, dtype=np.int64)
+        if np.any((module_ids < 0) | (module_ids >= self.n_modules)):
+            raise ValueError("request addresses a nonexistent module")
+        winners = self.arbiter(module_ids)
+        # contract check: winners hit distinct modules
+        served_mods = module_ids[winners]
+        # congestion over the *requested* modules only (O(k log k), not O(N))
+        _, counts = np.unique(module_ids, return_counts=True)
+        congestion = int(counts.max())
+        if np.unique(served_mods).size != served_mods.size:
+            raise AssertionError("arbiter served a module twice in one step")
+        self.stats.record_step(module_ids.size, winners.size, congestion)
+        return winners
+
+    def reset(self) -> None:
+        """Clear statistics (keeps the arbitration policy object)."""
+        keep = self.stats.keep_history
+        self.stats = MPCStats(keep_history=keep)
+
+    def __repr__(self) -> str:
+        return f"MPC(n_modules={self.n_modules}, steps={self.stats.steps})"

@@ -1,0 +1,54 @@
+"""Timestamped module storage -- the physical cells behind the copies.
+
+Each module owns ``slots`` cells; a cell holds a (value, timestamp)
+pair, exactly the copy layout of Upfal-Wigderson-style majority schemes
+(Section 1 and 3 of the paper): a write stamps the copies it reaches
+with the current logical time, a read trusts the freshest copy among the
+majority it reached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SharedCopyStore"]
+
+
+class SharedCopyStore:
+    """Dense (modules x slots) storage of timestamped copies.
+
+    Parameters
+    ----------
+    n_modules:
+        Number of memory modules.
+    slots:
+        Cells per module (``q^{n-1}`` for the paper's scheme).
+    """
+
+    def __init__(self, n_modules: int, slots: int):
+        if n_modules <= 0 or slots <= 0:
+            raise ValueError("n_modules and slots must be positive")
+        self.n_modules = n_modules
+        self.slots = slots
+        self.values = np.zeros((n_modules, slots), dtype=np.int64)
+        self.stamps = np.full((n_modules, slots), -1, dtype=np.int64)
+
+    def write(
+        self, modules: np.ndarray, slots: np.ndarray, values: np.ndarray, time: int | np.ndarray
+    ) -> None:
+        """Vectorized write of (value, time) into cells (modules, slots)."""
+        self.values[modules, slots] = values
+        self.stamps[modules, slots] = time
+
+    def read(
+        self, modules: np.ndarray, slots: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized read: returns (values, timestamps) of the cells."""
+        return self.values[modules, slots], self.stamps[modules, slots]
+
+    def footprint_bytes(self) -> int:
+        """Memory used by the backing arrays."""
+        return self.values.nbytes + self.stamps.nbytes
+
+    def __repr__(self) -> str:
+        return f"SharedCopyStore({self.n_modules} modules x {self.slots} slots)"

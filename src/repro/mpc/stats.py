@@ -1,0 +1,55 @@
+"""Counters and histories collected while the MPC runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MPCStats"]
+
+
+@dataclass
+class MPCStats:
+    """Aggregate statistics of a simulated MPC execution.
+
+    Attributes
+    ----------
+    steps:
+        Number of synchronous machine steps executed (the MPC time).
+    requests:
+        Total requests issued across all steps.
+    served:
+        Total requests served (= copies accessed); at most one per
+        module per step by the machine's contract.
+    max_congestion:
+        Largest number of simultaneous requests observed at one module
+        in a single step.
+    served_per_step:
+        History of how many modules were busy each step (optional; kept
+        when the machine is created with ``history=True``).
+    """
+
+    steps: int = 0
+    requests: int = 0
+    served: int = 0
+    max_congestion: int = 0
+    served_per_step: list[int] = field(default_factory=list)
+    keep_history: bool = False
+
+    def record_step(self, n_requests: int, n_served: int, congestion: int) -> None:
+        """Fold one machine step into the counters."""
+        self.steps += 1
+        self.requests += int(n_requests)
+        self.served += int(n_served)
+        if congestion > self.max_congestion:
+            self.max_congestion = int(congestion)
+        if self.keep_history:
+            self.served_per_step.append(int(n_served))
+
+    def merge(self, other: "MPCStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.steps += other.steps
+        self.requests += other.requests
+        self.served += other.served
+        self.max_congestion = max(self.max_congestion, other.max_congestion)
+        if self.keep_history:
+            self.served_per_step.extend(other.served_per_step)

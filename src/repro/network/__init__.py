@@ -1,0 +1,31 @@
+"""Bounded-degree interconnection networks under the MPC.
+
+The paper's opening modeling decision: study memory organization on the
+complete processor-module bipartite graph, "separating the request
+routing problem -- to be dealt with when the bipartite graph is
+simulated by a bounded-degree network -- from the more difficult memory
+organization problem."  This package builds that deferred half, so the
+cost the MPC abstracts away can be measured:
+
+* :mod:`repro.network.topology` -- hypercube and 2-D torus topologies
+  with greedy next-hop functions (vectorized);
+* :mod:`repro.network.routing` -- a synchronous store-and-forward
+  packet router (one packet per directed link per round) with
+  congestion statistics;
+* :mod:`repro.network.adapter` -- run an access batch where every
+  protocol iteration pays measured routing rounds (request + response)
+  instead of the MPC's unit cost.
+"""
+
+from repro.network.topology import HypercubeTopology, TorusTopology
+from repro.network.routing import route_packets, RoutingResult
+from repro.network.adapter import NetworkProtocolResult, run_protocol_on_network
+
+__all__ = [
+    "HypercubeTopology",
+    "TorusTopology",
+    "route_packets",
+    "RoutingResult",
+    "NetworkProtocolResult",
+    "run_protocol_on_network",
+]

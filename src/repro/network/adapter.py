@@ -1,0 +1,122 @@
+"""Running the access protocol over a bounded-degree network.
+
+Composes the two halves the paper deliberately separates: the memory
+organization (which decides *what* is requested each iteration) and
+request routing (which decides *how long* an iteration takes on a real
+interconnect).
+
+Mapping: processors and modules share the node set -- processor ``p``
+sits at node ``p mod n_nodes``, module ``u`` at node ``u mod n_nodes``
+(the topology is sized to hold ``N``).  Every protocol iteration then
+costs the measured rounds of routing all active request packets to
+their module nodes plus the winners' response packets back, instead of
+the MPC's single unit step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mpc.machine import MPC
+from repro.network.routing import route_packets
+
+__all__ = ["NetworkProtocolResult", "run_protocol_on_network"]
+
+
+@dataclass
+class NetworkProtocolResult:
+    """Cost of one access batch executed over a network.
+
+    ``mpc_iterations`` is what the ideal MPC charges; ``network_rounds``
+    is what the bounded-degree interconnect actually took; their ratio
+    is the routing overhead the paper's model abstracts away.
+    """
+
+    mpc_iterations: int
+    network_rounds: int
+    request_rounds: int
+    response_rounds: int
+    max_link_load: int
+    per_iteration_rounds: list[int] = field(default_factory=list)
+
+    @property
+    def overhead_factor(self) -> float:
+        """network_rounds / mpc_iterations (>= 1)."""
+        if self.mpc_iterations == 0:
+            return 1.0
+        return self.network_rounds / self.mpc_iterations
+
+
+def run_protocol_on_network(
+    module_ids: np.ndarray,
+    n_modules: int,
+    majority: int,
+    topology,
+    arbitration: str = "lowest",
+    seed: int = 0,
+    max_iterations: int = 1_000_000,
+) -> NetworkProtocolResult:
+    """Single-phase majority protocol where each iteration pays measured
+    routing time on ``topology``.
+
+    Parameters mirror :func:`repro.core.protocol.run_access_protocol`
+    (count mode, one phase -- the worst clustering, which is also the
+    honest one for overhead measurement since it maximizes per-iteration
+    traffic).
+    """
+    module_ids = np.asarray(module_ids, dtype=np.int64)
+    V, copies = module_ids.shape
+    if topology.n_nodes < n_modules:
+        raise ValueError(
+            f"topology has {topology.n_nodes} nodes < N = {n_modules} modules"
+        )
+    mpc = MPC(n_modules, arbitration=arbitration, seed=seed)
+
+    # tasks: processor of copy j of variable i is i*copies + j
+    task_var = np.repeat(np.arange(V, dtype=np.int64), copies)
+    task_copy = np.tile(np.arange(copies, dtype=np.int64), V)
+    task_mod = module_ids.reshape(-1)
+    task_proc = np.arange(V * copies, dtype=np.int64)
+    proc_node = task_proc % topology.n_nodes
+    mod_node = task_mod % topology.n_nodes
+
+    accessed = np.zeros((V, copies), dtype=bool)
+    hit_count = np.zeros(V, dtype=np.int64)
+    satisfied = np.zeros(V, dtype=bool)
+
+    iterations = 0
+    req_rounds_total = 0
+    resp_rounds_total = 0
+    max_link = 0
+    per_iter = []
+    while not np.all(satisfied):
+        if iterations >= max_iterations:  # pragma: no cover
+            raise RuntimeError("protocol exceeded max_iterations")
+        active = (~accessed.reshape(-1)) & (~satisfied[task_var])
+        idx_active = np.nonzero(active)[0]
+        # 1. route the requests processor -> module
+        req = route_packets(topology, proc_node[idx_active], mod_node[idx_active])
+        # 2. modules arbitrate (one grant per module, as on the MPC)
+        winners_local = mpc.step(task_mod[idx_active])
+        win = idx_active[winners_local]
+        # 3. route the responses module -> processor
+        resp = route_packets(topology, mod_node[win], proc_node[win])
+        accessed[task_var[win], task_copy[win]] = True
+        np.add.at(hit_count, task_var[win], 1)
+        satisfied = hit_count >= majority
+        iterations += 1
+        req_rounds_total += req.rounds
+        resp_rounds_total += resp.rounds
+        max_link = max(max_link, req.max_link_load, resp.max_link_load)
+        per_iter.append(req.rounds + resp.rounds)
+
+    return NetworkProtocolResult(
+        mpc_iterations=iterations,
+        network_rounds=req_rounds_total + resp_rounds_total,
+        request_rounds=req_rounds_total,
+        response_rounds=resp_rounds_total,
+        max_link_load=max_link,
+        per_iteration_rounds=per_iter,
+    )

@@ -1,0 +1,110 @@
+"""Synchronous store-and-forward packet routing.
+
+Model: time proceeds in rounds; each *directed link* carries at most
+one packet per round (the standard store-and-forward discipline of the
+PRAM-simulation literature, e.g. [Ran91]).  Packets follow the
+topology's deterministic greedy route; when several packets at a node
+want the same outgoing link, the lowest packet id goes first (the
+choice is immaterial to the totals, mirroring the MPC's arbitration
+obliviousness).
+
+The simulator is vectorized: one numpy pass per round over all
+in-flight packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RoutingResult", "route_packets"]
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of routing one batch of packets.
+
+    Attributes
+    ----------
+    rounds:
+        Rounds until the last packet arrived.
+    total_hops:
+        Sum of link traversals (= sum of path lengths actually used).
+    max_link_load:
+        Largest number of packets that crossed any single directed link
+        over the whole run (the congestion bound of the batch).
+    delivered:
+        Number of packets delivered (always all of them).
+    """
+
+    rounds: int
+    total_hops: int
+    max_link_load: int
+    delivered: int
+
+
+def route_packets(
+    topology,
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    max_rounds: int = 1_000_000,
+    next_fn=None,
+) -> RoutingResult:
+    """Route packets ``sources[i] -> destinations[i]``; returns totals.
+
+    Packets already at their destination cost zero rounds.  Complexity
+    per round is O(in-flight packets log) for the link arbitration sort.
+    ``next_fn(cur, dest)`` overrides the topology's greedy next hop
+    (e.g. a randomized productive policy); it must make progress --
+    each hop must strictly reduce remaining distance.
+    """
+    cur = np.asarray(sources, dtype=np.int64).copy()
+    dest = np.asarray(destinations, dtype=np.int64)
+    if cur.shape != dest.shape:
+        raise ValueError("sources and destinations must have equal shape")
+    n = cur.shape[0]
+    if n == 0:
+        return RoutingResult(0, 0, 0, 0)
+    if np.any((cur < 0) | (cur >= topology.n_nodes)) or np.any(
+        (dest < 0) | (dest >= topology.n_nodes)
+    ):
+        raise ValueError("node id out of range for the topology")
+
+    link_load: dict[tuple[int, int], int] = {}
+    rounds = 0
+    total_hops = 0
+    max_link_load = 0
+    in_flight = cur != dest
+    while np.any(in_flight):
+        if rounds >= max_rounds:  # pragma: no cover
+            raise RuntimeError("routing exceeded max_rounds")
+        idx = np.nonzero(in_flight)[0]
+        step_fn = next_fn if next_fn is not None else topology.vnext
+        nxt = step_fn(cur[idx], dest[idx])
+        # one packet per directed link (cur -> nxt): lowest id first
+        link_key = cur[idx] * np.int64(topology.n_nodes) + nxt
+        order = np.argsort(link_key, kind="stable")
+        sorted_keys = link_key[order]
+        first = np.empty(sorted_keys.shape, dtype=bool)
+        first[:1] = True
+        np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=first[1:])
+        winners = idx[order[first]]
+        won_next = nxt[order[first]]
+        # link-load accounting (loop over the few winners per round is
+        # fine; rounds dominate)
+        for c, nx in zip(cur[winners].tolist(), won_next.tolist()):
+            key = (c, nx)
+            link_load[key] = link_load.get(key, 0) + 1
+        cur[winners] = won_next
+        total_hops += winners.size
+        rounds += 1
+        in_flight = cur != dest
+    if link_load:
+        max_link_load = max(link_load.values())
+    return RoutingResult(
+        rounds=rounds,
+        total_hops=total_hops,
+        max_link_load=max_link_load,
+        delivered=n,
+    )

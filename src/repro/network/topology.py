@@ -1,0 +1,170 @@
+"""Bounded-degree network topologies with greedy routing functions.
+
+A topology provides the node set, the degree bound, and a *next-hop*
+function ``vnext(cur, dest)`` implementing a deterministic oblivious
+greedy route (bit-fixing on the hypercube, dimension-ordered on the
+torus).  Next-hop functions are fully vectorized: the router calls them
+once per round for every in-flight packet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HypercubeTopology", "TorusTopology"]
+
+
+class HypercubeTopology:
+    """The d-dimensional hypercube: 2^d nodes, degree d.
+
+    Greedy bit-fixing: correct the lowest differing address bit first
+    (the classic oblivious e-cube route; deadlock-free under
+    store-and-forward).
+    """
+
+    def __init__(self, dimension: int):
+        if not 1 <= dimension <= 24:
+            raise ValueError("dimension must be in [1, 24]")
+        self.dimension = dimension
+        self.n_nodes = 1 << dimension
+        self.degree = dimension
+
+    @classmethod
+    def at_least(cls, n: int) -> "HypercubeTopology":
+        """Smallest hypercube with >= n nodes."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        return cls(max(1, int(np.ceil(np.log2(n)))))
+
+    def neighbors(self, v: int) -> list[int]:
+        """The d neighbours of node v (one per flipped bit)."""
+        if not 0 <= v < self.n_nodes:
+            raise ValueError(f"node {v} out of range")
+        return [v ^ (1 << i) for i in range(self.dimension)]
+
+    def vnext(self, cur: np.ndarray, dest: np.ndarray) -> np.ndarray:
+        """Vectorized next hop: flip the lowest bit where cur and dest
+        differ (cur == dest entries are returned unchanged)."""
+        cur = np.asarray(cur, dtype=np.int64)
+        dest = np.asarray(dest, dtype=np.int64)
+        diff = cur ^ dest
+        lowbit = diff & -diff  # isolate lowest set bit; 0 when arrived
+        return cur ^ lowbit
+
+    def vnext_random(
+        self, cur: np.ndarray, dest: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Randomized productive next hop: flip a uniformly random
+        differing bit (Valiant-flavoured congestion spreading for
+        adversarial permutations; still fixes one bit per hop)."""
+        cur = np.asarray(cur, dtype=np.int64)
+        dest = np.asarray(dest, dtype=np.int64)
+        diff = cur ^ dest
+        out = cur.copy()
+        alive = diff != 0
+        if not alive.any():
+            return out
+        d = diff[alive]
+        # choose the k-th set bit with k uniform in [0, popcount)
+        pop = np.zeros_like(d)
+        tmp = d.copy()
+        while np.any(tmp):
+            pop += tmp & 1
+            tmp >>= 1
+        k = (rng.random(d.shape[0]) * pop).astype(np.int64)
+        chosen = np.zeros_like(d)
+        remaining = d.copy()
+        for _ in range(self.dimension):
+            low = remaining & -remaining
+            take = (k == 0) & (chosen == 0) & (low != 0)
+            chosen = np.where(take, low, chosen)
+            k -= 1
+            remaining ^= low
+        out[alive] = cur[alive] ^ chosen
+        return out
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Hop distance = Hamming distance of the addresses."""
+        diff = np.asarray(a, dtype=np.int64) ^ np.asarray(b, dtype=np.int64)
+        # popcount via numpy bit tricks
+        out = np.zeros_like(diff)
+        while np.any(diff):
+            out += diff & 1
+            diff >>= 1
+        return out
+
+    def diameter(self) -> int:
+        """Max hop distance = d."""
+        return self.dimension
+
+    def __repr__(self) -> str:
+        return f"HypercubeTopology(dimension={self.dimension}, nodes={self.n_nodes})"
+
+
+class TorusTopology:
+    """The k x k 2-D torus: k^2 nodes, degree 4.
+
+    Dimension-ordered greedy routing: correct the x coordinate (shorter
+    wrap direction), then y.
+    """
+
+    def __init__(self, k: int):
+        if k < 2:
+            raise ValueError("side k must be >= 2")
+        self.k = k
+        self.n_nodes = k * k
+        self.degree = 4
+
+    @classmethod
+    def at_least(cls, n: int) -> "TorusTopology":
+        """Smallest square torus with >= n nodes."""
+        return cls(max(2, int(np.ceil(np.sqrt(n)))))
+
+    def neighbors(self, v: int) -> list[int]:
+        """The four torus neighbours."""
+        k = self.k
+        x, y = v % k, v // k
+        return [
+            ((x + 1) % k) + y * k,
+            ((x - 1) % k) + y * k,
+            x + ((y + 1) % k) * k,
+            x + ((y - 1) % k) * k,
+        ]
+
+    def _step_toward(self, cur: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """One coordinate step in the shorter wrap direction (0 if equal)."""
+        k = self.k
+        fwd = (dst - cur) % k
+        back = (cur - dst) % k
+        step = np.where(fwd == 0, 0, np.where(fwd <= back, 1, -1))
+        return (cur + step) % k
+
+    def vnext(self, cur: np.ndarray, dest: np.ndarray) -> np.ndarray:
+        """Vectorized dimension-ordered next hop."""
+        cur = np.asarray(cur, dtype=np.int64)
+        dest = np.asarray(dest, dtype=np.int64)
+        k = self.k
+        cx, cy = cur % k, cur // k
+        dx, dy = dest % k, dest // k
+        move_x = cx != dx
+        nx = np.where(move_x, self._step_toward(cx, dx), cx)
+        ny = np.where(move_x, cy, self._step_toward(cy, dy))
+        return nx + ny * k
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Manhattan distance with wraparound."""
+        k = self.k
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        ax, ay = a % k, a // k
+        bx, by = b % k, b // k
+        dx = np.minimum((ax - bx) % k, (bx - ax) % k)
+        dy = np.minimum((ay - by) % k, (by - ay) % k)
+        return dx + dy
+
+    def diameter(self) -> int:
+        """2 * floor(k/2)."""
+        return 2 * (self.k // 2)
+
+    def __repr__(self) -> str:
+        return f"TorusTopology(k={self.k}, nodes={self.n_nodes})"

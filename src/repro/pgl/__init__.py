@@ -1,0 +1,44 @@
+"""The projective linear group PGL2 over GF(2^m) and its coset geometry.
+
+The paper's memory-organization graph lives on two coset spaces of
+``PGL2(q^n)``:
+
+* variables  <-> left cosets of ``H0 = PGL2(q)`` (the subfield subgroup);
+* modules    <-> left cosets of ``H_{n-1} = {(a, alpha; 0, 1)}``.
+
+This package provides canonical projective matrices
+(:mod:`repro.pgl.matrix`), the two subgroups (:mod:`repro.pgl.subgroups`),
+closed-form and orbit-based coset canonicalization
+(:mod:`repro.pgl.cosets`), and exhaustive enumeration for small parameter
+sets used in validation (:mod:`repro.pgl.enumerate`).
+"""
+
+from repro.pgl.matrix import (
+    pgl2_canon,
+    pgl2_mul,
+    pgl2_inv,
+    pgl2_det,
+    pgl2_identity,
+    pgl2_order,
+    enumerate_pgl2,
+    vmul,
+    vcanon,
+)
+from repro.pgl.subgroups import SubgroupH0, SubgroupHn1
+from repro.pgl.cosets import ModuleCosets, VariableCosets
+
+__all__ = [
+    "pgl2_canon",
+    "pgl2_mul",
+    "pgl2_inv",
+    "pgl2_det",
+    "pgl2_identity",
+    "pgl2_order",
+    "enumerate_pgl2",
+    "vmul",
+    "vcanon",
+    "SubgroupH0",
+    "SubgroupHn1",
+    "ModuleCosets",
+    "VariableCosets",
+]

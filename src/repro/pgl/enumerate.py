@@ -1,0 +1,65 @@
+"""Exhaustive enumeration of the coset spaces (validation-scale only).
+
+Brute-force enumeration of PGL2(q^n) and its two quotients.  Used by
+tests and by Experiment E1/E10 to verify Fact 1 and the algebraic
+neighbor formulas against ground truth.  Complexity is
+Theta(|PGL2(q^n)|) = Theta(q^{3n}); intended for q^n <= 64.
+"""
+
+from __future__ import annotations
+
+from repro.gf.gf2m import GF2m
+from repro.pgl.cosets import ModuleCosets, VariableCosets
+from repro.pgl.matrix import Mat, enumerate_pgl2
+from repro.pgl.subgroups import SubgroupH0, SubgroupHn1
+
+__all__ = [
+    "enumerate_variable_cosets",
+    "enumerate_module_cosets",
+    "build_explicit_edges",
+]
+
+
+def enumerate_variable_cosets(F: GF2m, variables: VariableCosets) -> list[Mat]:
+    """All variable cosets, each as its orbit-minimal canonical matrix.
+
+    Returns a sorted list of length ``M``.
+    """
+    seen: set[Mat] = set()
+    for m in enumerate_pgl2(F):
+        seen.add(variables.canon(m))
+    out = sorted(seen)
+    if len(out) != variables.M:
+        raise AssertionError(
+            f"enumerated {len(out)} variable cosets, expected {variables.M}"
+        )
+    return out
+
+
+def enumerate_module_cosets(F: GF2m, modules: ModuleCosets) -> list[Mat]:
+    """All module cosets as their closed-form representatives, index order."""
+    return [modules.rep_of(j) for j in range(modules.N)]
+
+
+def build_explicit_edges(
+    F: GF2m,
+    H0: SubgroupH0,
+    Hn1: SubgroupHn1,
+    variables: VariableCosets,
+    modules: ModuleCosets,
+) -> set[tuple[Mat, int]]:
+    """Ground-truth edge set by definition: ``(A H0, B H_{n-1})`` is an
+    edge iff the cosets intersect.
+
+    Every group element ``g`` lies in exactly one variable coset and one
+    module coset, so iterating over PGL2(q^n) and pairing ``(coset keys)``
+    enumerates the intersections directly.  Returns pairs of (canonical
+    variable matrix, module index).
+    """
+    edges: set[tuple[Mat, int]] = set()
+    for g in enumerate_pgl2(F):
+        v = variables.canon(g)
+        u = modules.index_of(g)
+        edges.add((v, u))
+    _ = H0, Hn1
+    return edges

@@ -1,0 +1,101 @@
+"""Group-theoretic utilities for PGL2.
+
+General tools the coset machinery doesn't need on its hot path but the
+validation suite leans on: element orders, subgroup generation by
+closure, subgroup axioms checks, and coset partition construction.
+They give the tests an independent, definition-level view of H0 and
+H_{n-1} against which the optimized code is compared.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.gf.gf2m import GF2m
+from repro.pgl.matrix import Mat, pgl2_identity, pgl2_inv, pgl2_mul
+
+__all__ = [
+    "element_order",
+    "generate_subgroup",
+    "is_subgroup",
+    "left_cosets",
+    "conjugate",
+    "centralizes",
+]
+
+
+def element_order(F: GF2m, m: Mat, cap: int = 1 << 22) -> int:
+    """Multiplicative order of a PGL2 element (smallest k with m^k = 1)."""
+    e = pgl2_identity()
+    acc = m
+    k = 1
+    while acc != e:
+        acc = pgl2_mul(F, acc, m)
+        k += 1
+        if k > cap:  # pragma: no cover
+            raise RuntimeError("order exceeds cap")
+    return k
+
+
+def generate_subgroup(F: GF2m, generators: list[Mat], cap: int = 1 << 20) -> set[Mat]:
+    """Closure of a generator set: the subgroup they generate (BFS over
+    left multiplication; all elements canonical)."""
+    from repro.pgl.matrix import pgl2_canon
+
+    gens = [pgl2_canon(F, g) for g in generators]
+    gens += [pgl2_inv(F, g) for g in gens]
+    seen: set[Mat] = {pgl2_identity()}
+    frontier: deque[Mat] = deque(seen)
+    while frontier:
+        cur = frontier.popleft()
+        for g in gens:
+            nxt = pgl2_mul(F, cur, g)
+            if nxt not in seen:
+                if len(seen) >= cap:  # pragma: no cover
+                    raise RuntimeError("subgroup exceeds cap")
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen
+
+
+def is_subgroup(F: GF2m, elements: set[Mat]) -> bool:
+    """Check the subgroup axioms on a finite element set (identity,
+    closure, inverses)."""
+    if pgl2_identity() not in elements:
+        return False
+    for a in elements:
+        if pgl2_inv(F, a) not in elements:
+            return False
+        for b in elements:
+            if pgl2_mul(F, a, b) not in elements:
+                return False
+    return True
+
+
+def left_cosets(
+    F: GF2m, subgroup: set[Mat], group_elements
+) -> list[set[Mat]]:
+    """Partition of the supplied group elements into left cosets
+    ``g * subgroup``."""
+    remaining = set(group_elements)
+    out: list[set[Mat]] = []
+    while remaining:
+        g = next(iter(remaining))
+        coset = {pgl2_mul(F, g, h) for h in subgroup}
+        if not coset <= remaining:
+            raise ValueError("elements are not a union of cosets")
+        out.append(coset)
+        remaining -= coset
+    return out
+
+
+def conjugate(F: GF2m, g: Mat, h: Mat) -> Mat:
+    """``g h g^{-1}``."""
+    return pgl2_mul(F, pgl2_mul(F, g, h), pgl2_inv(F, g))
+
+
+def centralizes(F: GF2m, g: Mat, elements: set[Mat]) -> bool:
+    """True iff g commutes with every element of the set."""
+    return all(
+        pgl2_mul(F, g, h) == pgl2_mul(F, h, g) for h in elements
+    )

@@ -1,0 +1,107 @@
+"""The two subgroups of PGL2(q^n) that define the memory graph.
+
+* ``H0 = PGL2(q)`` -- all projective matrices whose canonical entries lie
+  in the subfield F_q (embedded in F_{q^n}).  Variables are the left
+  cosets of H0; |H0| = q^3 - q.
+* ``H_{n-1} = {(a, alpha; 0, 1) : a in F_q^*, alpha in F_{q^n}}`` --
+  modules are the left cosets of H_{n-1}; |H_{n-1}| = (q-1) * q^n.
+
+Both classes expose element enumeration (as canonical matrices over the
+big field) and O(1) membership tests.
+"""
+
+from __future__ import annotations
+
+
+from repro.gf.subfield import FieldEmbedding
+from repro.pgl.matrix import Mat, enumerate_pgl2, pgl2_canon
+
+__all__ = ["SubgroupH0", "SubgroupHn1"]
+
+
+class SubgroupH0:
+    """``H0 = PGL2(q)`` embedded in PGL2(q^n) via a subfield embedding.
+
+    Parameters
+    ----------
+    embedding:
+        A :class:`~repro.gf.subfield.FieldEmbedding` of F_q into F_{q^n}.
+    """
+
+    def __init__(self, embedding: FieldEmbedding):
+        self.embedding = embedding
+        self.Fq = embedding.K
+        self.F = embedding.L
+        self.q = self.Fq.order
+        small_field = self.Fq
+        emb = embedding.embed
+        self._elements: tuple[Mat, ...] = tuple(
+            (emb(a), emb(b), emb(c), emb(d))
+            for (a, b, c, d) in enumerate_pgl2(small_field)
+        )
+        if len(self._elements) != self.q**3 - self.q:
+            raise AssertionError("H0 enumeration has wrong size")
+        self._element_set = frozenset(self._elements)
+
+    @property
+    def order(self) -> int:
+        """|H0| = q^3 - q."""
+        return self.q**3 - self.q
+
+    def elements(self) -> tuple[Mat, ...]:
+        """All elements as canonical matrices over the big field.
+
+        Canonicality is preserved by the embedding because the canonical
+        scaling (d=1 or c=1) is already fixed inside PGL2(q).
+        """
+        return self._elements
+
+    def contains(self, m: Mat) -> bool:
+        """Membership test: is the canonical matrix ``m`` in H0?
+
+        Equivalent to all four canonical entries lying in the embedded
+        subfield (canonical scaling maps F_q-matrices to F_q-matrices).
+        """
+        return m in self._element_set
+
+    def __repr__(self) -> str:
+        return f"SubgroupH0(q={self.q}, inside GF(2^{self.F.m}))"
+
+
+class SubgroupHn1:
+    """``H_{n-1} = {(a, alpha; 0, 1)}`` with a in F_q^*, alpha in F_{q^n}.
+
+    The stabilizer subgroup whose left cosets are the memory modules.
+    """
+
+    def __init__(self, embedding: FieldEmbedding):
+        self.embedding = embedding
+        self.Fq = embedding.K
+        self.F = embedding.L
+        self.q = self.Fq.order
+
+    @property
+    def order(self) -> int:
+        """|H_{n-1}| = (q - 1) * q^n."""
+        return (self.q - 1) * self.F.order
+
+    def elements(self) -> list[Mat]:
+        """All elements as canonical matrices (enumerated lazily; the
+        group can be large -- (q-1) * q^n)."""
+        out = []
+        for a_small in range(1, self.q):
+            a = self.embedding.embed(a_small)
+            for alpha in range(self.F.order):
+                out.append(pgl2_canon(self.F, (a, alpha, 0, 1)))
+        return out
+
+    def contains(self, m: Mat) -> bool:
+        """O(1) membership: canonical form must be (a, alpha; 0, 1) with
+        ``a`` in the embedded F_q^*."""
+        a, _b, c, d = m
+        if c != 0 or d != 1:
+            return False
+        return a != 0 and self.embedding.contains(a)
+
+    def __repr__(self) -> str:
+        return f"SubgroupHn1(q={self.q}, inside GF(2^{self.F.m}))"

@@ -1,0 +1,35 @@
+"""PRAM emulation on top of the memory-organization schemes.
+
+The granularity problem exists because PRAM algorithms assume one
+uniform shared memory while real machines have N separate modules; the
+paper's scheme is the deterministic bridge.  This package closes the
+loop: a :class:`~repro.pram.machine.PRAM` offers the classic
+synchronous shared-memory steps (concurrent read, concurrent write with
+a combining rule) and executes them through any
+:class:`~repro.schemes.base.MemoryScheme` on the simulated MPC,
+charging the real protocol cost for every step.
+
+:mod:`repro.pram.algorithms` supplies textbook PRAM programs (parallel
+prefix, pointer jumping / list ranking, parallel maximum) used by the
+examples and the end-to-end tests.
+"""
+
+from repro.pram.machine import PRAM
+from repro.pram.algorithms import (
+    bitonic_sort,
+    compact,
+    list_ranking,
+    odd_even_sort,
+    parallel_max,
+    prefix_sums,
+)
+
+__all__ = [
+    "PRAM",
+    "prefix_sums",
+    "list_ranking",
+    "parallel_max",
+    "compact",
+    "odd_even_sort",
+    "bitonic_sort",
+]

@@ -1,0 +1,227 @@
+"""Textbook PRAM algorithms executed through the simulated machine.
+
+Each routine manipulates shared memory exclusively through
+:class:`~repro.pram.machine.PRAM` steps, so the reported cost is the
+true MPC cost of simulating that PRAM program under the chosen memory
+organization -- the end-to-end quantity the paper's Theorem 1 is about.
+
+Memory layout conventions are documented per function; all algorithms
+assume the PRAM's shared memory is large enough (scheme.M >= layout).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.machine import PRAM
+
+__all__ = [
+    "prefix_sums",
+    "list_ranking",
+    "parallel_max",
+    "compact",
+    "odd_even_sort",
+    "bitonic_sort",
+]
+
+
+def prefix_sums(pram: PRAM, data: np.ndarray, base: int = 0) -> np.ndarray:
+    """Inclusive parallel prefix sums (Hillis-Steele doubling).
+
+    Uses cells ``[base, base + n)``; runs ``ceil(log2 n)`` rounds of
+    read-shift-add-write, each one PRAM read plus one PRAM write.
+    Returns the prefix array (also left in shared memory).
+    """
+    data = np.asarray(data, dtype=np.int64)
+    n = data.shape[0]
+    if n == 0:
+        return data.copy()
+    pram.load(base, data)
+    idx = np.arange(n, dtype=np.int64)
+    shift = 1
+    while shift < n:
+        vals = pram.parallel_read(base + idx)
+        add_src = idx - shift
+        movers = add_src >= 0
+        partners = pram.parallel_read(base + idx[movers] - shift)
+        new_vals = vals.copy()
+        new_vals[movers] += partners
+        pram.parallel_write(base + idx, new_vals)
+        shift *= 2
+    return pram.dump(base, n)
+
+
+def list_ranking(pram: PRAM, successor: np.ndarray, base: int = 0) -> np.ndarray:
+    """List ranking by pointer jumping (Wyllie).
+
+    ``successor[i]`` is the next node (the tail points to itself).
+    Layout: cells ``[base, base+n)`` hold successors, ``[base+n,
+    base+2n)`` hold ranks.  Returns the distance of each node to the
+    tail, in ``ceil(log2 n)`` jump rounds -- the classic O(log n)
+    CREW algorithm, here paying real MPC cost per round.
+    """
+    successor = np.asarray(successor, dtype=np.int64)
+    n = successor.shape[0]
+    if n == 0:
+        return successor.copy()
+    rank0 = (successor != np.arange(n)).astype(np.int64)
+    succ_base, rank_base = base, base + n
+    pram.load(succ_base, successor)
+    pram.load(rank_base, rank0)
+    idx = np.arange(n, dtype=np.int64)
+    rounds = max(1, int(np.ceil(np.log2(max(2, n)))))
+    for _ in range(rounds):
+        succ = pram.parallel_read(succ_base + idx)
+        rank = pram.parallel_read(rank_base + idx)
+        succ_rank = pram.parallel_read(rank_base + succ)
+        succ_succ = pram.parallel_read(succ_base + succ)
+        new_rank = rank + np.where(succ != idx, succ_rank, 0)
+        new_succ = np.where(succ != idx, succ_succ, succ)
+        pram.parallel_write(rank_base + idx, new_rank)
+        pram.parallel_write(succ_base + idx, new_succ)
+    return pram.dump(rank_base, n)
+
+
+def compact(pram: PRAM, data: np.ndarray, keep: np.ndarray, base: int = 0) -> np.ndarray:
+    """Stream compaction: gather ``data[i]`` with ``keep[i]`` into a dense
+    prefix, preserving order (the standard prefix-sum + scatter PRAM
+    pattern).
+
+    Layout: input in ``[base, base+n)``, prefix workspace in
+    ``[base+n, base+2n)``, output in ``[base+2n, base+3n)``.
+    """
+    data = np.asarray(data, dtype=np.int64)
+    keep = np.asarray(keep).astype(np.int64)
+    if data.shape != keep.shape:
+        raise ValueError("data and keep must have equal shape")
+    n = data.shape[0]
+    if n == 0:
+        return data.copy()
+    pram.load(base, data)
+    positions = prefix_sums(pram, keep, base=base + n)  # inclusive counts
+    total = int(positions[-1])
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    idx = np.arange(n, dtype=np.int64)
+    movers = keep.astype(bool)
+    vals = pram.parallel_read(base + idx[movers])
+    pram.parallel_write(base + 2 * n + positions[movers] - 1, vals)
+    return pram.dump(base + 2 * n, total)
+
+
+def odd_even_sort(pram: PRAM, data: np.ndarray, base: int = 0) -> np.ndarray:
+    """Odd-even transposition sort: ``n`` synchronous compare-exchange
+    rounds over shared memory (Habermann's classic PRAM/array sort).
+
+    Layout: working array in ``[base, base + n)``.  Each round is two
+    PRAM reads (the pair) and one write, all through the protocol.
+    """
+    data = np.asarray(data, dtype=np.int64)
+    n = data.shape[0]
+    if n <= 1:
+        return data.copy()
+    pram.load(base, data)
+    for rnd in range(n):
+        start = rnd % 2
+        left = np.arange(start, n - 1, 2, dtype=np.int64)
+        if left.size == 0:
+            continue
+        a = pram.parallel_read(base + left)
+        b = pram.parallel_read(base + left + 1)
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        pram.parallel_write(
+            np.concatenate([base + left, base + left + 1]),
+            np.concatenate([lo, hi]),
+        )
+    return pram.dump(base, n)
+
+
+def bitonic_sort(pram: PRAM, data: np.ndarray, base: int = 0) -> np.ndarray:
+    """Batcher's bitonic sort: ``O(log^2 n)`` synchronous compare-exchange
+    rounds -- the PRAM-idiomatic sorter (vs. the ``O(n)`` rounds of
+    :func:`odd_even_sort`).
+
+    Pads to the next power of two with +inf sentinels held privately
+    (only the n real cells live in shared memory at ``[base, base+n)``).
+    """
+    data = np.asarray(data, dtype=np.int64)
+    n = data.shape[0]
+    if n <= 1:
+        return data.copy()
+    size = 1 << int(np.ceil(np.log2(n)))
+    sentinel = np.int64(2**62)
+    pram.load(base, data)
+    # local mirror of the sentinel pad; every real-cell compare-exchange
+    # goes through shared memory, sentinels are resolved locally
+    pad_is_sentinel = np.zeros(size, dtype=bool)
+    pad_is_sentinel[n:] = True
+
+    k = 2
+    while k <= size:
+        j = k // 2
+        while j >= 1:
+            idx = np.arange(size, dtype=np.int64)
+            partner = idx ^ j
+            lower = idx < partner
+            i_lo = idx[lower]
+            i_hi = partner[lower]
+            ascending = (i_lo & k) == 0
+            both_real = ~pad_is_sentinel[i_lo] & ~pad_is_sentinel[i_hi]
+            lo_real = i_lo[both_real]
+            hi_real = i_hi[both_real]
+            asc_real = ascending[both_real]
+            if lo_real.size:
+                a = pram.parallel_read(base + lo_real)
+                b = pram.parallel_read(base + hi_real)
+                swap = np.where(asc_real, a > b, a < b)
+                new_a = np.where(swap, b, a)
+                new_b = np.where(swap, a, b)
+                pram.parallel_write(
+                    np.concatenate([base + lo_real, base + hi_real]),
+                    np.concatenate([new_a, new_b]),
+                )
+            # pairs with one sentinel: in an ascending region the sentinel
+            # (+inf) belongs high; in a descending region it belongs low.
+            one_sent = pad_is_sentinel[i_lo] ^ pad_is_sentinel[i_hi]
+            for lo_i, hi_i, asc in zip(
+                i_lo[one_sent], i_hi[one_sent], ascending[one_sent]
+            ):
+                sent_low = pad_is_sentinel[lo_i]
+                want_sent_low = not asc
+                if sent_low != want_sent_low:
+                    # move the real value across (read+write through memory)
+                    real_pos = int(hi_i if sent_low else lo_i)
+                    other_pos = int(lo_i if sent_low else hi_i)
+                    val = pram.parallel_read(np.array([base + real_pos]))
+                    pram.parallel_write(np.array([base + other_pos]), val)
+                    pad_is_sentinel[real_pos] = True
+                    pad_is_sentinel[other_pos] = False
+            j //= 2
+        k *= 2
+    _ = sentinel
+    # real values occupy the first n cells of the ascending result
+    assert not pad_is_sentinel[:n].any()
+    return pram.dump(base, n)
+
+
+def parallel_max(pram: PRAM, data: np.ndarray, base: int = 0) -> int:
+    """Maximum by a binary reduction tree in shared memory.
+
+    Layout: working array in ``[base, base + n)``; ``ceil(log2 n)``
+    halving rounds.  Returns the maximum value.
+    """
+    data = np.asarray(data, dtype=np.int64)
+    n = data.shape[0]
+    if n == 0:
+        raise ValueError("parallel_max of empty data")
+    pram.load(base, data)
+    width = n
+    while width > 1:
+        half = (width + 1) // 2
+        left = np.arange(width // 2, dtype=np.int64)
+        a = pram.parallel_read(base + left)
+        b = pram.parallel_read(base + left + half)
+        pram.parallel_write(base + left, np.maximum(a, b))
+        width = half
+    return int(pram.parallel_read(np.array([base]))[0])

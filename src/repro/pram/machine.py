@@ -1,0 +1,143 @@
+"""A synchronous PRAM whose shared memory lives on the simulated MPC.
+
+Each PRAM step is one batched access: duplicate addresses are combined
+first (the standard request-combining transformation that turns CRCW
+into distinct-request traffic -- exactly the regime the paper's
+protocol is specified for), the scheme's protocol runs on the MPC, and
+the machine's clock advances by the measured MPC iteration count plus
+the modeled per-phase overheads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schemes.base import MemoryScheme
+
+__all__ = ["PRAM"]
+
+
+class PRAM:
+    """Simulated PRAM over a pluggable memory-organization scheme.
+
+    Parameters
+    ----------
+    scheme:
+        Any :class:`~repro.schemes.base.MemoryScheme`; its ``M`` is the
+        shared-memory size.
+    combine:
+        Concurrent-write resolution: ``'arbitrary'`` (lowest processor
+        wins, the paper's MPC convention), ``'max'``, ``'min'``, or
+        ``'sum'``.
+
+    Attributes
+    ----------
+    mpc_iterations:
+        Protocol iterations accumulated over all steps (raw MPC time).
+    modeled_steps:
+        Time in the paper's cost model, including cluster coordination
+        and O(log N) address computation per phase.
+    steps:
+        Number of PRAM instructions executed.
+    """
+
+    def __init__(self, scheme: MemoryScheme, combine: str = "arbitrary"):
+        if combine not in ("arbitrary", "max", "min", "sum"):
+            raise ValueError(f"unknown combine rule {combine!r}")
+        self.scheme = scheme
+        self.combine = combine
+        self.store = scheme.make_store()
+        self.M = scheme.M
+        self._time = 0
+        self.steps = 0
+        self.mpc_iterations = 0
+        self.modeled_steps = 0
+
+    # -- internal -----------------------------------------------------------
+
+    def _combine_writes(
+        self, addresses: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve concurrent writes to one (address, value) per cell."""
+        order = np.argsort(addresses, kind="stable")
+        addr_s, val_s = addresses[order], values[order]
+        uniq, start = np.unique(addr_s, return_index=True)
+        if self.combine == "arbitrary":
+            return uniq, val_s[start]
+        out = np.empty(uniq.shape[0], dtype=np.int64)
+        bounds = np.append(start, addr_s.shape[0])
+        for i in range(uniq.shape[0]):
+            chunk = val_s[bounds[i] : bounds[i + 1]]
+            if self.combine == "max":
+                out[i] = chunk.max()
+            elif self.combine == "min":
+                out[i] = chunk.min()
+            else:
+                out[i] = chunk.sum()
+        return uniq, out
+
+    def _charge(self, result) -> None:
+        self.steps += 1
+        self._time += 1
+        self.mpc_iterations += result.total_iterations
+        self.modeled_steps += result.modeled_steps(self.scheme.N)
+
+    # -- the PRAM instruction set ------------------------------------------------
+
+    def parallel_read(self, addresses: np.ndarray) -> np.ndarray:
+        """One synchronous concurrent-read step.
+
+        ``addresses[i]`` is processor i's target; duplicates are combined
+        into a single protocol request and the value is broadcast back.
+        Unwritten cells read as -1.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if np.any((addresses < 0) | (addresses >= self.M)):
+            raise ValueError("address out of shared-memory range")
+        uniq, inverse = np.unique(addresses, return_inverse=True)
+        self._time += 1
+        res = self.scheme.read(uniq, store=self.store, time=self._time)
+        self._charge(res)
+        return res.values[inverse]
+
+    def parallel_write(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """One synchronous concurrent-write step with the machine's
+        combining rule."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if addresses.shape != values.shape:
+            raise ValueError("addresses and values must have equal shape")
+        if addresses.size == 0:
+            return
+        if np.any((addresses < 0) | (addresses >= self.M)):
+            raise ValueError("address out of shared-memory range")
+        uniq, vals = self._combine_writes(addresses, values)
+        self._time += 1
+        res = self.scheme.write(uniq, values=vals, store=self.store, time=self._time)
+        self._charge(res)
+
+    def load(self, base: int, data: np.ndarray) -> None:
+        """Bulk-initialize shared memory ``[base, base + len(data))``."""
+        data = np.asarray(data, dtype=np.int64)
+        self.parallel_write(base + np.arange(data.shape[0], dtype=np.int64), data)
+
+    def dump(self, base: int, count: int) -> np.ndarray:
+        """Bulk-read shared memory ``[base, base + count)``."""
+        return self.parallel_read(base + np.arange(count, dtype=np.int64))
+
+    def cost_summary(self) -> dict:
+        """Accumulated cost counters for reporting."""
+        return {
+            "pram_steps": self.steps,
+            "mpc_iterations": self.mpc_iterations,
+            "modeled_mpc_steps": self.modeled_steps,
+            "scheme": getattr(self.scheme, "name", type(self.scheme).__name__),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PRAM(scheme={getattr(self.scheme, 'name', '?')}, M={self.M}, "
+            f"steps={self.steps}, mpc_iterations={self.mpc_iterations})"
+        )

@@ -1,0 +1,36 @@
+"""Baseline memory-organization schemes the paper positions itself against.
+
+All schemes implement the :class:`~repro.schemes.base.MemoryScheme`
+interface (placement of copies + read/write quorums) and are driven by
+the same MPC protocol engine (:mod:`repro.core.protocol`), so measured
+access times are directly comparable:
+
+* :mod:`repro.schemes.single_copy` -- one copy per variable (hashing);
+  the granularity-problem strawman with Theta(N) adversarial time;
+* :mod:`repro.schemes.mehlhorn_vishkin` -- [MV84]: c copies, reads
+  touch any 1 copy (O(c N^{1-1/c})), writes touch all c (Theta(cN)
+  adversarial);
+* :mod:`repro.schemes.upfal_wigderson` -- [UW87]: 2c-1 copies placed by
+  a seeded random graph, majority-c reads *and* writes (the paper's PP
+  scheme keeps this protocol but replaces the random graph with the
+  constructive PGL2 graph);
+* :mod:`repro.schemes.pp_adapter` -- :class:`PPScheme` wrapped in the
+  same interface for the comparison harness.
+"""
+
+from repro.schemes.base import MemoryScheme, KeyedCopyStore
+from repro.schemes.single_copy import SingleCopyScheme
+from repro.schemes.mehlhorn_vishkin import MehlhornVishkinScheme
+from repro.schemes.upfal_wigderson import UpfalWigdersonScheme
+from repro.schemes.pp_adapter import PPAdapter
+from repro.schemes.grid import GridScheme
+
+__all__ = [
+    "MemoryScheme",
+    "KeyedCopyStore",
+    "SingleCopyScheme",
+    "MehlhornVishkinScheme",
+    "UpfalWigdersonScheme",
+    "PPAdapter",
+    "GridScheme",
+]

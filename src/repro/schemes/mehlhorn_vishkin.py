@@ -1,0 +1,150 @@
+"""Mehlhorn-Vishkin multi-copy scheme [MV84].
+
+Each variable keeps ``c`` copies; a *read* may use any single copy (the
+"most convenient" one -- our protocol engine realizes exactly that with
+read quorum 1), but a *write* must refresh all ``c`` copies (write
+quorum c), which is the asymmetry the paper's majority approach removes.
+
+Placement is the constructive Reed-Solomon style arrangement: the
+module space is split into ``c`` groups of ``floor(N / c)`` modules;
+variable ``v`` is identified with the degree-<c polynomial ``p_v`` over
+``Z_P`` (P = largest prime <= N/c) whose coefficients are the base-P
+digits of ``v``, and copy ``j`` lives in group ``j`` at position
+``p_v(x_j) mod P`` for fixed distinct evaluation points ``x_j``.  Two
+distinct variables then collide on at most ``c - 1`` copy positions
+(polynomial agreement bound) -- the property [MV84]'s O(c N^{1-1/c})
+read bound rests on.  Requires ``M <= P^c``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.modular import is_prime
+from repro.schemes.base import MemoryScheme
+
+__all__ = ["MehlhornVishkinScheme", "largest_prime_at_most"]
+
+
+def largest_prime_at_most(n: int) -> int:
+    """The largest prime <= n (n >= 2)."""
+    if n < 2:
+        raise ValueError("no prime <= 1")
+    p = n
+    while not is_prime(p):
+        p -= 1
+    return p
+
+
+class MehlhornVishkinScheme(MemoryScheme):
+    """c copies; read quorum 1, write quorum c."""
+
+    name = "mehlhorn-vishkin"
+
+    def __init__(self, N: int, M: int, c: int = 3):
+        if c < 2:
+            raise ValueError("c must be >= 2")
+        P = largest_prime_at_most(N // c)
+        if M > P**c:
+            raise ValueError(
+                f"M = {M} exceeds P^c = {P**c}; increase c or N"
+            )
+        self.N = N
+        self.M = M
+        self.c = c
+        self.P = P
+        self.copies_per_variable = c
+        self.read_quorum = 1
+        self.write_quorum = c
+        # distinct evaluation points; x_0 = 0 keeps the adversary simple
+        self.eval_points = np.arange(c, dtype=np.int64)
+
+    def coefficients(self, indices: np.ndarray) -> np.ndarray:
+        """``(V, c)`` base-P digit expansion (a_0 least significant)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        out = np.empty((indices.shape[0], self.c), dtype=np.int64)
+        rem = indices.copy()
+        for i in range(self.c):
+            out[:, i] = rem % self.P
+            rem //= self.P
+        return out
+
+    def from_coefficients(self, coeffs: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`coefficients`."""
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        out = np.zeros(coeffs.shape[0], dtype=np.int64)
+        for i in range(self.c - 1, -1, -1):
+            out = out * self.P + coeffs[:, i]
+        return out
+
+    def placement(self, indices: np.ndarray) -> np.ndarray:
+        """``(V, c)``: copy j at module ``j * floor(N/c) + p_v(x_j) mod P``."""
+        coeffs = self.coefficients(indices)
+        group = self.N // self.c
+        V = coeffs.shape[0]
+        out = np.empty((V, self.c), dtype=np.int64)
+        for j in range(self.c):
+            x = int(self.eval_points[j])
+            acc = np.zeros(V, dtype=np.int64)
+            for i in range(self.c - 1, -1, -1):
+                acc = (acc * x + coeffs[:, i]) % self.P
+            out[:, j] = j * group + acc
+        return out
+
+    def interpolate_variables(self, values_grid: list[np.ndarray]) -> np.ndarray:
+        """Theorem-7 adversary helper: variable indices whose copy-j
+        positions hit ``values_grid[j]`` for every j (Lagrange
+        interpolation over the Cartesian product of the per-copy value
+        sets).  Returns at most ``prod(len(grid_j))`` distinct indices.
+        """
+        import itertools
+
+        P = self.P
+        xs = [int(x) for x in self.eval_points]
+        out = []
+        for combo in itertools.product(*[list(map(int, g)) for g in values_grid]):
+            coeffs = _lagrange_coeffs(xs, list(combo), P)
+            v = 0
+            for a in reversed(coeffs):
+                v = v * P + a
+            if v < self.M:
+                out.append(v)
+        return np.unique(np.array(out, dtype=np.int64))
+
+    def adversarial_write_set(self, count: int, target_position: int = 0) -> np.ndarray:
+        """``count`` distinct variables whose copy 0 lands in the same
+        module (all with ``p_v(0) = a_0 = target_position``): a write
+        burst on them serializes on that module -- the Theta(cN) write
+        worst case of [MV84]."""
+        if count > self.M // self.P + 1:
+            raise ValueError("not enough variables share a copy-0 module")
+        base = np.arange(count, dtype=np.int64) * self.P + target_position
+        base = base[base < self.M]
+        if base.shape[0] < count:
+            raise ValueError("not enough variables below M")
+        return base
+
+
+def _lagrange_coeffs(xs: list[int], ys: list[int], p: int) -> list[int]:
+    """Coefficients (a_0..a_{c-1}) of the unique degree-<c polynomial
+    through the points (xs, ys) over Z_p."""
+    c = len(xs)
+    coeffs = [0] * c
+    for i in range(c):
+        # basis poly L_i = prod_{j != i} (x - x_j) / (x_i - x_j)
+        num = [1]
+        denom = 1
+        for j in range(c):
+            if j == i:
+                continue
+            # multiply num by (x - x_j)
+            new = [0] * (len(num) + 1)
+            for k, a in enumerate(num):
+                new[k + 1] = (new[k + 1] + a) % p
+                new[k] = (new[k] - a * xs[j]) % p
+            num = new
+            denom = denom * (xs[i] - xs[j]) % p
+        scale = ys[i] * pow(denom, -1, p) % p
+        for k, a in enumerate(num):
+            coeffs[k] = (coeffs[k] + a * scale) % p
+    return coeffs

@@ -1,0 +1,88 @@
+"""Single-copy baseline: one copy per variable, no redundancy.
+
+The strawman that motivates the whole granularity problem: when every
+requested variable happens to live in the same module, the MPC serves
+them one per step and the access takes Theta(N') time.  Placement is
+either plain ``v mod N`` (``hashed=False``; makes the adversarial
+workload transparent) or a seeded hash (which only hides, but cannot
+remove, the worst case -- the adversary can invert a *fixed* hash).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schemes.base import MemoryScheme
+from repro.schemes.hashing import hash_to_range
+
+__all__ = ["SingleCopyScheme"]
+
+
+class SingleCopyScheme(MemoryScheme):
+    """One copy per variable; read quorum = write quorum = 1."""
+
+    name = "single-copy"
+
+    def __init__(self, N: int, M: int, hashed: bool = True, seed: int = 0):
+        if M < N:
+            raise ValueError("expect M >= N for the granularity problem")
+        self.N = N
+        self.M = M
+        self.copies_per_variable = 1
+        self.read_quorum = 1
+        self.write_quorum = 1
+        self.hashed = hashed
+        self.seed = seed
+
+    def placement(self, indices: np.ndarray) -> np.ndarray:
+        """``(V, 1)`` module of the unique copy."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if self.hashed:
+            mods = hash_to_range(indices, self.N, seed=self.seed)
+        else:
+            mods = indices % self.N
+        return mods[:, None]
+
+    def adversarial_request_set(
+        self, count: int, target_module: int | None = None
+    ) -> np.ndarray:
+        """``count`` distinct variables all stored in one module
+        (inverts the placement; Theta(count) access time guaranteed).
+
+        With ``target_module=None`` the fullest module is chosen -- the
+        strongest attack the store admits (capacity ~ M/N per module).
+        """
+        if target_module is None:
+            target_module = self.fullest_module()
+        if self.hashed:
+            # Invert by scanning -- the adversary knows the fixed hash.
+            found = []
+            block = 1 << 16
+            start = 0
+            while len(found) < count and start < self.M:
+                idx = np.arange(start, min(self.M, start + block), dtype=np.int64)
+                hit = idx[hash_to_range(idx, self.N, seed=self.seed) == target_module]
+                found.extend(hit.tolist())
+                start += block
+            if len(found) < count:
+                raise ValueError(f"module {target_module} stores fewer than {count} variables")
+            return np.array(found[:count], dtype=np.int64)
+        base = np.arange(count, dtype=np.int64) * self.N + target_module
+        if base[-1] >= self.M:
+            raise ValueError(f"module {target_module} stores fewer than {count} variables")
+        return base
+
+    def fullest_module(self) -> int:
+        """Module holding the most variables under this placement."""
+        if not self.hashed:
+            return 0
+        mods = hash_to_range(np.arange(self.M, dtype=np.int64), self.N, seed=self.seed)
+        return int(np.bincount(mods, minlength=self.N).argmax())
+
+    def max_module_load(self) -> int:
+        """Occupancy of the fullest module (the cap on this scheme's
+        single-module worst case)."""
+        if not self.hashed:
+            return -(-self.M // self.N)
+        mods = hash_to_range(np.arange(self.M, dtype=np.int64), self.N, seed=self.seed)
+        return int(np.bincount(mods, minlength=self.N).max())

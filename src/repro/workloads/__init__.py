@@ -1,0 +1,37 @@
+"""Request-set generators: random, structured, and adversarial.
+
+* :mod:`repro.workloads.generators` -- seeded random distinct sets,
+  permutation traffic, hot-spot mixtures, and strided/array-walk
+  patterns typical of PRAM programs;
+* :mod:`repro.workloads.adversarial` -- worst-case constructions per
+  scheme (single-module attacks, MV write bursts, expansion-tight sets
+  for the PP graph, and the Theorem-7 concentrated-set adversary).
+"""
+
+from repro.workloads.generators import (
+    random_distinct,
+    strided,
+    hotspot_blocks,
+    phase_shuffled,
+)
+from repro.workloads.adversarial import (
+    pp_tight_request_set,
+    pp_module_neighborhood_set,
+    theorem7_bound,
+    concentrated_set_for,
+    phase_align,
+    tight_set_module_ids,
+)
+
+__all__ = [
+    "random_distinct",
+    "strided",
+    "hotspot_blocks",
+    "phase_shuffled",
+    "pp_tight_request_set",
+    "pp_module_neighborhood_set",
+    "theorem7_bound",
+    "concentrated_set_for",
+    "phase_align",
+    "tight_set_module_ids",
+]

@@ -1,0 +1,65 @@
+"""Benign workload generators (seeded, reproducible).
+
+These model the access patterns a PRAM program would actually issue:
+uniform random batches, strided array walks, and block-local hot spots.
+All return distinct variable indices, as the MPC model (and the paper's
+protocol) assumes one request per variable per batch -- concurrent
+same-variable reads are combined before the protocol runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_distinct", "strided", "hotspot_blocks", "phase_shuffled"]
+
+
+def random_distinct(M: int, count: int, seed: int = 0) -> np.ndarray:
+    """``count`` distinct uniform indices from ``[0, M)``."""
+    if count > M:
+        raise ValueError(f"cannot draw {count} distinct from {M}")
+    rng = np.random.default_rng(seed)
+    if count * 4 >= M:
+        return rng.permutation(M)[:count].astype(np.int64)
+    return rng.choice(M, size=count, replace=False).astype(np.int64)
+
+
+def strided(M: int, count: int, stride: int = 1, offset: int = 0) -> np.ndarray:
+    """An array walk: ``offset, offset+stride, ...`` (mod M), distinct.
+
+    Models the classic "every processor reads A[i * stride]" PRAM step
+    whose interaction with naive modular placement is catastrophic.
+    """
+    if count > M:
+        raise ValueError(f"cannot draw {count} distinct from {M}")
+    idx = (offset + stride * np.arange(count, dtype=np.int64)) % M
+    if np.unique(idx).size != count:
+        raise ValueError(
+            f"stride {stride} wraps onto itself within {count} draws (gcd issue)"
+        )
+    return idx
+
+
+def hotspot_blocks(
+    M: int, count: int, block: int = 64, n_blocks: int = 4, seed: int = 0
+) -> np.ndarray:
+    """Requests concentrated in a few contiguous index blocks -- the
+    "shared data structure" pattern (e.g. all processors walking the
+    same few tree pages)."""
+    rng = np.random.default_rng(seed)
+    if block * n_blocks < count:
+        raise ValueError("blocks too small for requested count")
+    starts = rng.choice(max(1, M - block), size=n_blocks, replace=False)
+    pool = np.concatenate([np.arange(s, s + block, dtype=np.int64) for s in starts])
+    pool = np.unique(pool % M)
+    if pool.size < count:
+        raise ValueError("hot-spot pool smaller than count after dedup")
+    return rng.choice(pool, size=count, replace=False)
+
+
+def phase_shuffled(indices: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Reshuffle a request set (changes the cluster/phase assignment in
+    the protocol without changing the set -- used to check the protocol
+    cost is set-determined, not order-determined, up to arbitration)."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(np.asarray(indices, dtype=np.int64))

@@ -1,0 +1,59 @@
+"""Tests for exponent fitting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_exponent_pairs, fit_power_law, geometric_sizes
+
+
+class TestFitPowerLaw:
+    def test_exact_power(self):
+        xs = np.array([1, 2, 4, 8, 16], dtype=float)
+        ys = 3.0 * xs**0.5
+        alpha, a = fit_power_law(xs, ys)
+        assert alpha == pytest.approx(0.5)
+        assert a == pytest.approx(3.0)
+
+    def test_cube_root(self):
+        xs = np.geomspace(10, 1e6, 8)
+        alpha, _ = fit_power_law(xs, xs ** (1 / 3))
+        assert alpha == pytest.approx(1 / 3, abs=1e-9)
+
+    def test_noisy_fit(self):
+        rng = np.random.default_rng(0)
+        xs = np.geomspace(10, 1e5, 20)
+        ys = xs**0.66 * np.exp(rng.normal(0, 0.05, 20))
+        alpha, _ = fit_power_law(xs, ys)
+        assert abs(alpha - 0.66) < 0.05
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+
+class TestPairs:
+    def test_constant_exponent(self):
+        xs = [1, 10, 100]
+        ys = [2, 20, 200]
+        assert fit_exponent_pairs(xs, ys) == pytest.approx([1.0, 1.0])
+
+
+class TestGeometricSizes:
+    def test_endpoints(self):
+        s = geometric_sizes(10, 1000, 5)
+        assert s[0] == 10 and s[-1] == 1000
+
+    def test_strictly_increasing(self):
+        s = geometric_sizes(1, 10**6, 12)
+        assert all(b > a for a, b in zip(s, s[1:]))
+
+    def test_single_point(self):
+        assert geometric_sizes(5, 100, 1) == [100]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_sizes(0, 10, 3)
+        with pytest.raises(ValueError):
+            geometric_sizes(10, 5, 3)

@@ -1,0 +1,70 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.analysis.report import Table, format_float
+
+
+class TestFormatFloat:
+    def test_ints_stay_ints(self):
+        assert format_float(42) == "42"
+
+    def test_whole_floats_collapse(self):
+        assert format_float(42.0) == "42"
+
+    def test_precision(self):
+        assert format_float(3.14159, digits=3) == "3.14"
+
+    def test_none(self):
+        assert format_float(None) == "-"
+
+    def test_strings_pass_through(self):
+        assert format_float("pp") == "pp"
+
+    def test_bool(self):
+        assert format_float(True) == "True"
+
+
+class TestTable:
+    def test_render_markdown(self):
+        t = Table(["a", "b"], title="demo")
+        t.add_row([1, 2.5])
+        out = t.render()
+        assert "### demo" in out
+        assert "| a | b |" in out
+        assert "| 1 | 2.5 |" in out
+
+    def test_row_length_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_no_title(self):
+        t = Table(["x"])
+        t.add_row([0])
+        assert not t.render().startswith("###")
+
+    def test_print(self, capsys):
+        t = Table(["x"])
+        t.add_row([7])
+        t.print()
+        assert "| 7 |" in capsys.readouterr().out
+
+
+class TestCsv:
+    def test_basic(self):
+        t = Table(["a", "b"])
+        t.add_row([1, 2.5])
+        assert t.to_csv() == "a,b\n1,2.5\n"
+
+    def test_escaping(self):
+        t = Table(["name"])
+        t.add_row(['he said "hi", twice'])
+        assert t.to_csv() == 'name\n"he said ""hi"", twice"\n'
+
+    def test_save(self, tmp_path):
+        t = Table(["x"])
+        t.add_row([3])
+        p = tmp_path / "out.csv"
+        t.save_csv(str(p))
+        assert p.read_text() == "x\n3\n"

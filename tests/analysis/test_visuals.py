@@ -1,0 +1,36 @@
+"""Tests for the ASCII visualization helpers."""
+
+from repro.analysis.report import ascii_histogram, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        out = sparkline([5, 5, 5])
+        assert len(out) == 3 and len(set(out)) == 1
+
+    def test_monotone_rises(self):
+        out = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert out[0] < out[-1]
+        assert list(out) == sorted(out)
+
+    def test_length(self):
+        assert len(sparkline(range(100))) == 100
+
+
+class TestAsciiHistogram:
+    def test_empty(self):
+        assert ascii_histogram([]) == "(empty)"
+
+    def test_rows_and_counts(self):
+        out = ascii_histogram([1] * 50 + [10] * 5, bins=3)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert "50" in lines[0]
+        assert "#" in lines[0]
+
+    def test_peak_bar_width(self):
+        out = ascii_histogram(list(range(100)), bins=4, width=20)
+        assert max(line.count("#") for line in out.splitlines()) == 20

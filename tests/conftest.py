@@ -1,0 +1,60 @@
+"""Shared fixtures: session-scoped graphs and schemes.
+
+Graph/field construction builds lookup tables; sharing instances across
+tests keeps the suite fast without coupling tests (all objects are
+effectively immutable after construction).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import MemoryGraph
+from repro.core.scheme import PPScheme
+
+
+@pytest.fixture(scope="session")
+def graph_2_3() -> MemoryGraph:
+    """Smallest paper instance: q=2, n=3 (N=63, M=84); enumerable."""
+    return MemoryGraph(2, 3)
+
+
+@pytest.fixture(scope="session")
+def graph_2_5() -> MemoryGraph:
+    """Mid-size instance: q=2, n=5 (N=1023, M=5456); enumerable."""
+    return MemoryGraph(2, 5)
+
+
+@pytest.fixture(scope="session")
+def graph_4_3() -> MemoryGraph:
+    """Cross-q instance: q=4, n=3 (N=1365, M=4368, 5 copies)."""
+    return MemoryGraph(4, 3)
+
+
+@pytest.fixture(scope="session")
+def graph_2_6() -> MemoryGraph:
+    """Composite-n instance for tight sets: q=2, n=6."""
+    return MemoryGraph(2, 6)
+
+
+@pytest.fixture(scope="session")
+def scheme_2_3() -> PPScheme:
+    """Scheme facade over the smallest instance."""
+    return PPScheme(q=2, n=3)
+
+
+@pytest.fixture(scope="session")
+def scheme_2_5() -> PPScheme:
+    """Scheme facade over the mid-size instance."""
+    return PPScheme(q=2, n=5)
+
+
+@pytest.fixture(scope="session")
+def scheme_4_3() -> PPScheme:
+    """Scheme facade with enumerated addressing (q=4)."""
+    return PPScheme(q=4, n=3)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)

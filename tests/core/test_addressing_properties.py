@@ -1,0 +1,77 @@
+"""Property-based tests of the addressing layer (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.addressing import AddressLayer
+from repro.core.graph import MemoryGraph
+from repro.pgl.matrix import pgl2_mul
+
+
+@pytest.fixture(scope="module")
+def addr7():
+    return AddressLayer(MemoryGraph(2, 7))
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 349503))
+    def test_rank_unrank_identity_n7(self, i):
+        addr = AddressLayer(MemoryGraph(2, 7))
+        assert addr.rank(addr.unrank(i)) == i
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 349503), st.integers(0, 5))
+    def test_rank_invariant_under_h0(self, i, hidx):
+        addr = AddressLayer(MemoryGraph(2, 7))
+        g = addr.graph
+        A = addr.unrank(i)
+        h = g.H0.elements()[hidx]
+        assert addr.rank(pgl2_mul(g.F, A, h)) == i
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 349503), min_size=1, max_size=64, unique=True))
+    def test_vunrank_vrank_batch(self, indices):
+        addr = AddressLayer(MemoryGraph(2, 7))
+        idx = np.array(indices, dtype=np.int64)
+        assert np.array_equal(addr.vrank(addr.vunrank(idx)), idx)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 349503))
+    def test_unrank_produces_nonsingular_canonical(self, i):
+        from repro.pgl.matrix import pgl2_canon, pgl2_det
+
+        addr = AddressLayer(MemoryGraph(2, 7))
+        A = addr.unrank(i)
+        assert pgl2_det(addr.K, A) != 0
+        assert pgl2_canon(addr.K, A) == A
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 349503))
+    def test_locate_distinct_modules(self, i):
+        addr = AddressLayer(MemoryGraph(2, 7))
+        loc = addr.locate(i)
+        mods = [u for u, _ in loc]
+        slots_ok = all(0 <= k < addr.graph.module_degree for _, k in loc)
+        assert len(set(mods)) == 3 and slots_ok
+
+
+class TestS4Properties:
+    @settings(max_examples=150, deadline=None)
+    @given(st.integers(1, 10), st.integers(0, 100))
+    def test_s4_rank_unrank_roundtrip(self, s, r):
+        addr = AddressLayer(MemoryGraph(2, 7))
+        s = min(s, addr.smax)
+        r = r % addr.c4_per_s
+        i, j = addr._s4_unrank(s, r)
+        assert addr._s4_pair_valid(s, i, j)
+        assert addr._s4_rank(s, i, j) == r
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(1, 10), st.integers(1, 10**6))
+    def test_s4_count_monotone(self, s, x):
+        addr = AddressLayer(MemoryGraph(2, 7))
+        s = min(s, addr.smax)
+        x = x % addr.rho
+        assert addr._s4_count(s, x) >= addr._s4_count(s, max(0, x - 1))

@@ -1,0 +1,115 @@
+"""Tests for the executable bound formulas."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    RECURRENCE_C,
+    expansion_lower_bound,
+    fact1_counts,
+    live_expansion_lower_bound,
+    lower_bound_average_r,
+    lower_bound_exact_r,
+    phi_bound,
+    recurrence_step,
+    simulate_recurrence,
+    total_time_bound,
+)
+
+
+class TestFact1:
+    def test_known_values(self):
+        c = fact1_counts(2, 3)
+        assert c == {"V": 84, "U": 63, "deg_V": 3, "deg_U": 4}
+
+    def test_edge_count_consistency(self):
+        # |V| * deg_V == |U| * deg_U for a biregular bipartite graph
+        for q, n in [(2, 3), (2, 5), (2, 9), (4, 3), (4, 5), (8, 3)]:
+            c = fact1_counts(q, n)
+            assert c["V"] * c["deg_V"] == c["U"] * c["deg_U"]
+
+    def test_asymptotics(self):
+        # N = Theta(q^{2n-1}), M = Theta(q^{3n-3})
+        c = fact1_counts(2, 9)
+        assert 0.5 < c["U"] / 2 ** (2 * 9 - 1) < 2.5
+        assert 0.1 < c["V"] / 2 ** (3 * 9 - 3) < 3
+
+
+class TestExpansionBounds:
+    def test_theorem4_constant(self):
+        assert expansion_lower_bound(8, 2) == pytest.approx(8 ** (2 / 3) * 2 / 2 ** (1 / 3))
+
+    def test_theorem5_weaker(self):
+        for s in (1, 10, 1000):
+            assert live_expansion_lower_bound(s, 2) < expansion_lower_bound(s, 2)
+
+    def test_monotone_in_size(self):
+        vals = [expansion_lower_bound(s, 2) for s in range(1, 100)]
+        assert vals == sorted(vals)
+
+
+class TestRecurrence:
+    def test_step_decreases(self):
+        r = 1000.0
+        r2 = recurrence_step(r, 2)
+        assert 0 < r2 < r
+
+    def test_step_at_zero(self):
+        assert recurrence_step(0, 2) == 0.0
+
+    def test_default_constant(self):
+        assert RECURRENCE_C == pytest.approx(0.397)
+
+    def test_simulation_terminates(self):
+        traj = simulate_recurrence(10000, 2)
+        assert traj[0] == 10000
+        assert traj[-1] <= 1.0
+        assert all(traj[i + 1] <= traj[i] for i in range(len(traj) - 1))
+
+    def test_iterations_scale_as_cube_root(self):
+        # length of trajectory ~ R0^{1/3}: ratio for 1000x input ~ 10
+        len1 = len(simulate_recurrence(1_000, 2))
+        len2 = len(simulate_recurrence(1_000_000, 2))
+        ratio = len2 / len1
+        assert 7 < ratio < 14
+
+    def test_larger_c_converges_faster(self):
+        slow = len(simulate_recurrence(100000, 2, c=0.2))
+        fast = len(simulate_recurrence(100000, 2, c=0.6))
+        assert fast < slow
+
+    def test_larger_q_converges_faster(self):
+        q2 = len(simulate_recurrence(100000, 2))
+        q8 = len(simulate_recurrence(100000, 8))
+        assert q8 < q2
+
+
+class TestTimeBounds:
+    def test_phi_bound_shape(self):
+        assert phi_bound(1, 2) == 1.0
+        assert phi_bound(1000, 2) == pytest.approx(1000 ** (1 / 3) * 4)  # log*1000=4
+
+    def test_total_time_includes_log_n(self):
+        small_req = total_time_bound(2, 2**20, 2)
+        assert small_req >= 20  # the log N term dominates tiny N'
+
+    def test_lower_bound_exact(self):
+        assert lower_bound_exact_r(10**6, 10**3, 3) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            lower_bound_exact_r(10, 10, 0)
+
+    def test_lower_bound_average_weaker(self):
+        # the exact-r bound (Theorem 7, this paper) strictly dominates the
+        # average-r bound of [UW87]
+        M, N = 10**6, 10**3
+        for r in (2, 3, 5):
+            assert lower_bound_exact_r(M, N, r) > lower_bound_average_r(M, N, r)
+
+    def test_paper_closing_remark(self):
+        # q=2 (r=3): lower bound ~ N^{1/6 - o(1)} when M = N^{3/2 - o(1)}
+        N = 2**20
+        M = int(N**1.45)
+        got = lower_bound_exact_r(M, N, 3)
+        assert got == pytest.approx((M / N) ** (1 / 3))
+        assert math.log(got, N) == pytest.approx(0.15, abs=0.02)

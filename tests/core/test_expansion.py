@@ -1,0 +1,125 @@
+"""Tests for expansion measurement, adversarial search, and tight sets."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import expansion_lower_bound
+from repro.core.expansion import (
+    gamma_of_set,
+    gamma_size,
+    greedy_contracting_set,
+    sampled_expansion_profile,
+    subgroup_tight_set,
+)
+
+
+class TestGammaOfSet:
+    def test_single_variable(self, graph_2_3):
+        A = graph_2_3.all_variable_matrices()[0]
+        assert gamma_size(graph_2_3, [A]) == 3
+
+    def test_union_semantics(self, graph_2_3):
+        mats = graph_2_3.all_variable_matrices()[:5]
+        g = gamma_of_set(graph_2_3, mats)
+        assert g == set().union(*(graph_2_3.gamma_variable(A) for A in mats))
+
+    def test_whole_graph(self, graph_2_3):
+        mats = graph_2_3.all_variable_matrices()
+        assert gamma_size(graph_2_3, mats) == graph_2_3.N
+
+
+class TestTheorem4Holds:
+    def test_exhaustive_small_subsets(self, graph_2_3):
+        # all subsets of size 1..3 of a sample; plus larger random ones
+        import itertools
+
+        mats = graph_2_3.all_variable_matrices()[::6]
+        for size in (1, 2, 3):
+            for combo in itertools.combinations(mats, size):
+                assert gamma_size(graph_2_3, list(combo)) >= expansion_lower_bound(
+                    size, 2
+                )
+
+    def test_random_sets_n5(self, graph_2_5, rng):
+        for size in (10, 50, 200, 1000):
+            mats4 = graph_2_5.random_variable_matrices(size, rng)
+            mods = graph_2_5.vgamma_variables(mats4)
+            got = int(np.unique(mods).size)
+            assert got >= expansion_lower_bound(size, 2)
+
+    def test_greedy_adversarial_still_above_bound(self, graph_2_3):
+        for size in (5, 12, 25):
+            S = greedy_contracting_set(graph_2_3, size)
+            assert len(S) == size
+            assert gamma_size(graph_2_3, S) >= expansion_lower_bound(size, 2)
+
+    def test_profile_rows(self, graph_2_5, rng):
+        rows = sampled_expansion_profile(graph_2_5, [10, 100], rng, trials=2)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["min"] >= row["bound"]
+            assert row["min_over_bound"] >= 1.0
+
+
+class TestTightSets:
+    def test_requires_composite(self, graph_2_5):
+        with pytest.raises(ValueError):
+            subgroup_tight_set(graph_2_5, 2)
+
+    def test_requires_proper_divisor(self, graph_2_6):
+        with pytest.raises(ValueError):
+            subgroup_tight_set(graph_2_6, 1)
+        with pytest.raises(ValueError):
+            subgroup_tight_set(graph_2_6, 6)
+
+    def test_d3_structure(self, graph_2_6):
+        S = subgroup_tight_set(graph_2_6, 3)
+        assert len(S) == 84  # |PGL2(8)| / |PGL2(2)|
+        gam = gamma_size(graph_2_6, S)
+        assert gam == 63  # module space of the (2,3) subgeometry
+        bound = expansion_lower_bound(len(S), 2)
+        assert bound <= gam <= 3 * bound  # tight within a small constant
+
+    def test_d2_structure(self, graph_2_6):
+        S = subgroup_tight_set(graph_2_6, 2)
+        assert len(S) == 10  # |PGL2(4)| / |PGL2(2)| = 60/6
+        assert gamma_size(graph_2_6, S) == 15  # (4+1)(4-1)/(2-1)
+
+    def test_distinct_cosets(self, graph_2_6):
+        S = subgroup_tight_set(graph_2_6, 3)
+        keys = {graph_2_6.variables.key(m) for m in S}
+        assert len(keys) == len(S)
+
+    def test_ratio_scales_as_two_thirds(self):
+        # |Gamma(S_d)| / |S_d|^{2/3} stays bounded along d = 2, 3, 4
+        from repro.core.graph import MemoryGraph
+
+        ratios = []
+        for n, d in [(4, 2), (6, 3), (8, 4)]:
+            g = MemoryGraph(2, n)
+            S = subgroup_tight_set(g, d)
+            ratios.append(gamma_size(g, S) / len(S) ** (2 / 3) / g.q)
+        assert max(ratios) / min(ratios) < 2.5
+
+
+class TestGreedySearch:
+    def test_greedy_is_contracting(self, graph_2_3, rng):
+        # greedy sets should expand no more than random sets of equal size
+        size = 20
+        S = greedy_contracting_set(graph_2_3, size)
+        greedy_gamma = gamma_size(graph_2_3, S)
+        rand_gammas = []
+        for _ in range(5):
+            mats4 = graph_2_3.random_variable_matrices(size, rng)
+            mods = graph_2_3.vgamma_variables(mats4)
+            rand_gammas.append(int(np.unique(mods).size))
+        assert greedy_gamma <= max(rand_gammas)
+
+    def test_distinct_variables(self, graph_2_3):
+        S = greedy_contracting_set(graph_2_3, 15)
+        keys = {graph_2_3.variables.key(m) for m in S}
+        assert len(keys) == 15
+
+    def test_size_validation(self, graph_2_3):
+        with pytest.raises(ValueError):
+            greedy_contracting_set(graph_2_3, 0)

@@ -1,0 +1,57 @@
+"""Tests for the self-verification module and its CLI hook."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.verification import VerificationReport, verify_instance
+
+
+class TestVerifyInstance:
+    def test_quick_n3(self):
+        rep = verify_instance(2, 3, level="quick")
+        assert rep.passed
+        names = [n for n, _, _ in rep.checks]
+        assert "fact1-counts" in names
+        assert "read-your-writes" in names
+
+    def test_standard_exhaustive_addressing(self):
+        rep = verify_instance(2, 3, level="standard")
+        assert rep.passed
+        round_trip = next(d for n, _, d in rep.checks if n == "addressing-roundtrip")
+        assert "84 indices" in round_trip  # exhaustive at n=3
+
+    def test_full_includes_edges(self):
+        rep = verify_instance(2, 3, level="full")
+        assert rep.passed
+        assert any(n == "definition-edges" for n, _, _ in rep.checks)
+
+    def test_full_refuses_when_infeasible(self):
+        rep = verify_instance(2, 9, level="full", seed=1)
+        edge = next((ok, d) for n, ok, d in rep.checks if n == "definition-edges")
+        assert edge == (False, "infeasible at this size")
+        assert not rep.passed  # the refusal is an explicit failure
+
+    def test_q4(self):
+        assert verify_instance(4, 3, level="quick").passed
+
+    def test_bad_level(self):
+        with pytest.raises(ValueError):
+            verify_instance(2, 3, level="paranoid")
+
+    def test_render(self):
+        rep = VerificationReport(q=2, n=3, level="quick")
+        rep.record("demo", True, "fine")
+        rep.record("demo2", False)
+        out = rep.render()
+        assert "[PASS] demo" in out and "[FAIL] demo2" in out
+        assert not rep.passed
+
+
+class TestCliVerify:
+    def test_exit_zero_on_pass(self, capsys):
+        assert main(["verify", "-q", "2", "-n", "3"]) == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_fail(self, capsys):
+        # full level at n=9 refuses the edge check -> nonzero exit
+        assert main(["verify", "-q", "2", "-n", "9", "--level", "full"]) == 1

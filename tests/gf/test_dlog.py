@@ -1,0 +1,59 @@
+"""Tests for discrete logarithms (table-based and BSGS)."""
+
+import pytest
+
+from repro.gf.dlog import dlog, dlog_bsgs
+from repro.gf.gf2m import GF2m
+
+
+@pytest.fixture(scope="module")
+def F():
+    return GF2m.get(8)
+
+
+class TestDlog:
+    def test_generator_base(self, F):
+        for e in (0, 1, 17, 200):
+            assert dlog(F, F.generator, F.exp(e)) == e % F.group_order
+
+    def test_arbitrary_base(self, F):
+        base = F.exp(3)  # order 85
+        for e in range(0, 85, 7):
+            assert F.pow(base, dlog(F, base, F.pow(base, e))) == F.pow(base, e)
+
+    def test_outside_subgroup_raises(self, F):
+        base = F.exp(5)  # order 51; generator not a power of it
+        with pytest.raises(ValueError):
+            dlog(F, base, F.exp(1))
+
+    def test_zero_raises(self, F):
+        with pytest.raises(ValueError):
+            dlog(F, 0, 1)
+        with pytest.raises(ValueError):
+            dlog(F, F.generator, 0)
+
+
+class TestBsgs:
+    def test_agrees_with_table(self, F):
+        base = F.generator
+        for e in range(0, 255, 13):
+            val = F.exp(e)
+            assert F.pow(base, dlog_bsgs(F, base, val)) == val
+
+    def test_small_order_base(self, F):
+        base = F.exp(85)  # order 3
+        for e in range(3):
+            val = F.pow(base, e)
+            k = dlog_bsgs(F, base, val)
+            assert F.pow(base, k) == val
+
+    def test_not_in_subgroup_raises(self, F):
+        base = F.exp(85)  # order 3 subgroup
+        with pytest.raises(ValueError):
+            dlog_bsgs(F, base, F.exp(1))
+
+    def test_cross_check_full_sweep(self):
+        F = GF2m.get(6)
+        g = F.generator
+        for val in range(1, 64):
+            assert dlog(F, g, val) == dlog_bsgs(F, g, val)

@@ -1,0 +1,72 @@
+"""Unit tests for repro.gf.factor."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gf.factor import factorize, prime_factors, divisors
+from repro.gf.modular import is_prime
+
+
+class TestFactorize:
+    def test_small(self):
+        assert dict(factorize(12)) == {2: 2, 3: 1}
+        assert dict(factorize(1)) == {}
+        assert dict(factorize(97)) == {97: 1}
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+    def test_prime_powers(self):
+        assert dict(factorize(2**20)) == {2: 20}
+        assert dict(factorize(3**10)) == {3: 10}
+
+    def test_mersenne_composite(self):
+        # 2^29 - 1 = 233 * 1103 * 2089
+        assert dict(factorize(2**29 - 1)) == {233: 1, 1103: 1, 2089: 1}
+
+    def test_repo_relevant_orders(self):
+        # The group orders the primitivity tests actually factor.
+        for n in (3, 5, 7, 9):
+            f = factorize(2 ** (2 * n) - 1)
+            prod = 1
+            for p, e in f.items():
+                assert is_prime(p)
+                prod *= p**e
+            assert prod == 2 ** (2 * n) - 1
+
+    @given(st.integers(1, 10**12))
+    def test_product_reconstructs(self, n):
+        prod = 1
+        for p, e in factorize(n).items():
+            assert is_prime(p)
+            prod *= p**e
+        assert prod == n
+
+
+class TestPrimeFactors:
+    def test_sorted_distinct(self):
+        assert prime_factors(360) == [2, 3, 5]
+
+    def test_prime(self):
+        assert prime_factors(31) == [31]
+
+
+class TestDivisors:
+    def test_basic(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+
+    def test_count_formula(self):
+        # d(n) = prod (e_i + 1)
+        n = 2**3 * 3**2 * 5
+        assert len(divisors(n)) == 4 * 3 * 2
+
+    @given(st.integers(1, 10**6))
+    def test_all_divide(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds == sorted(set(ds))
+        assert math.prod([]) == 1  # sanity for empty case semantics

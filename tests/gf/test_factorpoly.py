@@ -1,0 +1,152 @@
+"""Tests for polynomial factorization over GF(p)."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gf.factorpoly import (
+    distinct_degree_factorization,
+    equal_degree_factorization,
+    factor_poly,
+    poly_roots,
+    squarefree_decomposition,
+)
+from repro.gf.irreducible import find_irreducible, is_irreducible
+from repro.gf.poly import Poly
+
+
+def rebuild(factors: Counter, p: int) -> Poly:
+    out = Poly.one(p)
+    for g, e in factors.items():
+        for _ in range(e):
+            out = out * g
+    return out
+
+
+class TestSquarefree:
+    def test_simple_square(self):
+        a = Poly([1, 1], 2)  # x + 1
+        f = a * a * Poly([1, 1, 1], 2)
+        dec = squarefree_decomposition(f)
+        assert (Poly([1, 1], 2), 2) in dec
+        assert (Poly([1, 1, 1], 2), 1) in dec
+
+    def test_pth_power(self):
+        # (x^2 + x + 1)^2 over GF(2) has zero derivative
+        g = Poly([1, 1, 1], 2)
+        dec = squarefree_decomposition(g * g)
+        assert dec == [(g, 2)]
+
+    def test_squarefree_input(self):
+        f = Poly([1, 1, 0, 1], 2)  # irreducible
+        assert squarefree_decomposition(f) == [(f, 1)]
+
+    def test_odd_characteristic(self):
+        a = Poly([1, 1], 5)
+        b = Poly([2, 1], 5)
+        dec = squarefree_decomposition(a * a * a * b)
+        assert (a, 3) in dec and (b, 1) in dec
+
+    def test_product_reconstructs(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            f = Poly([rng.randrange(3) for _ in range(8)] + [1], 3)
+            prod = Poly.one(3)
+            for g, e in squarefree_decomposition(f):
+                for _ in range(e):
+                    prod = prod * g
+            assert prod == f.monic()
+
+
+class TestDistinctDegree:
+    def test_splits_by_degree(self):
+        # (x+1)(x^2+x+1)(x^3+x+1) over GF(2)
+        f = Poly([1, 1], 2) * Poly([1, 1, 1], 2) * Poly([1, 1, 0, 1], 2)
+        dd = dict((d, g) for g, d in distinct_degree_factorization(f))
+        assert dd[1] == Poly([1, 1], 2)
+        assert dd[2] == Poly([1, 1, 1], 2)
+        assert dd[3] == Poly([1, 1, 0, 1], 2)
+
+    def test_two_factors_same_degree(self):
+        f = Poly([1, 1, 0, 1], 2) * Poly([1, 0, 1, 1], 2)  # two cubics
+        dd = distinct_degree_factorization(f)
+        assert len(dd) == 1 and dd[0][1] == 3 and dd[0][0].degree == 6
+
+
+class TestEqualDegree:
+    def test_splits_two_cubics(self):
+        a, b = Poly([1, 1, 0, 1], 2), Poly([1, 0, 1, 1], 2)
+        got = sorted(
+            equal_degree_factorization(a * b, 3), key=lambda g: g.coeffs
+        )
+        assert got == sorted([a, b], key=lambda g: g.coeffs)
+
+    def test_single_factor(self):
+        a = Poly([1, 1, 0, 1], 2)
+        assert equal_degree_factorization(a, 3) == [a]
+
+    def test_wrong_degree_raises(self):
+        with pytest.raises(ValueError):
+            equal_degree_factorization(Poly([1, 1, 0, 1], 2), 2)
+
+    def test_odd_characteristic(self):
+        a, b = Poly([1, 1], 7), Poly([3, 1], 7)
+        got = equal_degree_factorization(a * b, 1)
+        assert sorted(g.coeffs for g in got) == sorted([a.coeffs, b.coeffs])
+
+
+class TestFactorPoly:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=12))
+    def test_reconstruction_gf2(self, coeffs):
+        f = Poly(coeffs + [1], 2)
+        if f.degree < 1:
+            return
+        factors = factor_poly(f)
+        assert rebuild(factors, 2) == f.monic()
+        for g in factors:
+            assert is_irreducible(g)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 4), min_size=2, max_size=8))
+    def test_reconstruction_gf5(self, coeffs):
+        f = Poly(coeffs + [1], 5)
+        if f.degree < 1:
+            return
+        factors = factor_poly(f)
+        assert rebuild(factors, 5) == f.monic()
+
+    def test_irreducible_stays_whole(self):
+        for m in (2, 3, 5, 8):
+            f = find_irreducible(2, m)
+            assert factor_poly(f) == Counter({f: 1})
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            factor_poly(Poly.zero(2))
+
+    def test_minimal_polynomials_multiply_to_xqn_minus_x(self):
+        # prod over Frobenius orbits of min polys == x^(2^3) - x
+        from repro.gf.gf2m import GF2m
+
+        F = GF2m.get(3)
+        target = Poly.monomial(8, 2) - Poly.x(2)
+        factors = factor_poly(target)
+        minpolys = {F.minimal_polynomial(a) for a in range(8)}
+        assert set(factors) == minpolys
+
+
+class TestRoots:
+    def test_known_roots(self):
+        # (x+1)(x+2) over GF(5) = x^2 + 3x + 2
+        f = Poly([2, 3, 1], 5)
+        assert poly_roots(f) == [3, 4]
+
+    def test_multiplicity(self):
+        f = Poly([1, 1], 2) * Poly([1, 1], 2)  # (x+1)^2
+        assert poly_roots(f) == [1, 1]
+
+    def test_no_roots(self):
+        assert poly_roots(Poly([1, 1, 1], 2)) == []

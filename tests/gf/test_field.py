@@ -1,0 +1,91 @@
+"""Tests for the generic reference field GF(p^m)."""
+
+import pytest
+
+from repro.gf.field import GFpm
+from repro.gf.poly import Poly
+
+
+@pytest.fixture(scope="module")
+def F9():
+    return GFpm(3, 2)
+
+
+@pytest.fixture(scope="module")
+def F25():
+    return GFpm(5, 2)
+
+
+class TestConstruction:
+    def test_composite_characteristic_rejected(self):
+        with pytest.raises(ValueError):
+            GFpm(4, 2)
+
+    def test_reducible_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            GFpm(2, 2, Poly([1, 0, 1], 2))  # (x+1)^2
+
+    def test_wrong_degree_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            GFpm(2, 3, Poly([1, 1], 2))
+
+    def test_order(self, F9):
+        assert F9.order == 9 and F9.group_order == 8
+
+
+class TestArithmetic:
+    def test_add_sub_inverse(self, F9):
+        for a in range(9):
+            for b in range(9):
+                assert F9.sub(F9.add(a, b), b) == a
+
+    def test_neg(self, F9):
+        for a in range(9):
+            assert F9.add(a, F9.neg(a)) == 0
+
+    def test_mul_inverse(self, F25):
+        for a in range(1, 25):
+            assert F25.mul(a, F25.inv(a)) == 1
+
+    def test_inv_zero_raises(self, F9):
+        with pytest.raises(ZeroDivisionError):
+            F9.inv(0)
+
+    def test_div(self, F9):
+        for a in range(9):
+            for b in range(1, 9):
+                assert F9.mul(F9.div(a, b), b) == a
+
+    def test_pow_fermat(self, F25):
+        for a in range(1, 25):
+            assert F25.pow(a, 24) == 1
+
+    def test_pow_negative(self, F9):
+        assert F9.pow(5, -1) == F9.inv(5)
+
+    def test_distributivity_full(self, F9):
+        for a in range(9):
+            for b in range(9):
+                for c in range(0, 9, 2):
+                    assert F9.mul(a, F9.add(b, c)) == F9.add(F9.mul(a, b), F9.mul(a, c))
+
+
+class TestStructure:
+    def test_element_orders_divide(self, F25):
+        for a in range(1, 25):
+            assert F25.group_order % F25.element_order(a) == 0
+
+    def test_generator_exists(self, F9):
+        g = F9.find_generator()
+        assert F9.is_primitive_element(g)
+        seen = set()
+        x = 1
+        for _ in range(F9.group_order):
+            seen.add(x)
+            x = F9.mul(x, g)
+        assert len(seen) == F9.group_order
+
+    def test_prime_field(self):
+        F7 = GFpm(7, 1)
+        assert F7.mul(3, 5) == 1  # 15 mod 7
+        assert F7.inv(3) == 5

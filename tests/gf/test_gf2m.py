@@ -1,0 +1,216 @@
+"""Tests for the fast table-based GF(2^m), including vectorized kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gf.gf2m import GF2m
+from repro.gf.field import GFpm
+from repro.gf.poly import Poly
+
+
+@pytest.fixture(scope="module")
+def F8():
+    return GF2m.get(3)
+
+
+@pytest.fixture(scope="module")
+def F256():
+    return GF2m.get(8)
+
+
+class TestConstruction:
+    def test_cached(self):
+        assert GF2m.get(5) is GF2m.get(5)
+
+    def test_basic_attributes(self, F8):
+        assert F8.order == 8 and F8.group_order == 7 and F8.generator == 2
+
+    def test_bad_degree(self):
+        with pytest.raises(ValueError):
+            GF2m(0)
+        with pytest.raises(ValueError):
+            GF2m(40)
+
+    def test_bad_modulus_degree(self):
+        with pytest.raises(ValueError):
+            GF2m(3, modulus=0b111)  # degree 2, not 3
+
+    def test_nonprimitive_modulus_rejected(self):
+        # x^4 + x^3 + x^2 + x + 1: irreducible but x has order 5
+        with pytest.raises(ValueError):
+            GF2m(4, modulus=0b11111)
+
+    def test_m1_field(self):
+        F2 = GF2m.get(1)
+        assert F2.mul(1, 1) == 1
+        assert F2.add(1, 1) == 0
+        assert F2.inv(1) == 1
+
+
+class TestScalarOps:
+    def test_add_is_xor(self, F8):
+        assert F8.add(0b101, 0b011) == 0b110
+
+    def test_mul_matches_reference(self, F8):
+        ref = GFpm(2, 3, Poly.from_int(F8.modulus, 2))
+        for a in range(8):
+            for b in range(8):
+                assert F8.mul(a, b) == ref.mul(a, b)
+
+    def test_mul_zero(self, F8):
+        for a in range(8):
+            assert F8.mul(a, 0) == 0 and F8.mul(0, a) == 0
+
+    def test_inverse(self, F256):
+        for a in range(1, 256):
+            assert F256.mul(a, F256.inv(a)) == 1
+
+    def test_inv_zero_raises(self, F8):
+        with pytest.raises(ZeroDivisionError):
+            F8.inv(0)
+
+    def test_div(self, F256):
+        for a in (1, 7, 100, 255):
+            for b in (1, 3, 200):
+                assert F256.mul(F256.div(a, b), b) == a
+
+    def test_div_by_zero_raises(self, F8):
+        with pytest.raises(ZeroDivisionError):
+            F8.div(3, 0)
+
+    def test_pow(self, F8):
+        for a in range(1, 8):
+            acc = 1
+            for e in range(10):
+                assert F8.pow(a, e) == acc
+                acc = F8.mul(acc, a)
+
+    def test_pow_negative(self, F8):
+        assert F8.pow(3, -1) == F8.inv(3)
+
+    def test_pow_zero_base(self, F8):
+        assert F8.pow(0, 0) == 1
+        assert F8.pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            F8.pow(0, -1)
+
+    def test_exp_log_inverse(self, F256):
+        for a in range(1, 256):
+            assert F256.exp(F256.log(a)) == a
+
+    def test_log_zero_raises(self, F8):
+        with pytest.raises(ValueError):
+            F8.log(0)
+
+    def test_sqrt(self, F256):
+        for a in range(256):
+            s = F256.sqrt(a)
+            assert F256.mul(s, s) == a
+
+    def test_frobenius_additive(self, F256):
+        # (a + b)^2 = a^2 + b^2 in characteristic 2
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b = rng.integers(0, 256, 2)
+            assert F256.frobenius(int(a) ^ int(b)) == F256.frobenius(int(a)) ^ F256.frobenius(int(b))
+
+    def test_element_order_divides_group(self, F256):
+        for a in range(1, 256, 17):
+            assert F256.group_order % F256.element_order(a) == 0
+
+    def test_generator_primitive(self, F256):
+        assert F256.is_primitive_element(F256.generator)
+        assert not F256.is_primitive_element(1)
+
+    def test_minimal_polynomial(self, F8):
+        mp = F8.minimal_polynomial(F8.generator)
+        assert mp.to_int() == F8.modulus
+        assert F8.minimal_polynomial(1) == Poly([1, 1], 2)  # x + 1
+
+
+class TestVectorOps:
+    def test_vmul_matches_scalar(self, F256, rng=None):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, 500)
+        b = rng.integers(0, 256, 500)
+        got = F256.vmul(a, b)
+        assert all(int(got[i]) == F256.mul(int(a[i]), int(b[i])) for i in range(500))
+
+    def test_vmul_zero_handling(self, F8):
+        a = np.array([0, 1, 0, 5])
+        b = np.array([3, 0, 0, 5])
+        assert list(F8.vmul(a, b)) == [0, 0, 0, F8.mul(5, 5)]
+
+    def test_vinv(self, F256):
+        a = np.arange(1, 256)
+        assert np.all(F256.vmul(a, F256.vinv(a)) == 1)
+
+    def test_vinv_zero_raises(self, F8):
+        with pytest.raises(ZeroDivisionError):
+            F8.vinv(np.array([1, 0]))
+
+    def test_vdiv(self, F256):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 256, 300)
+        b = rng.integers(1, 256, 300)
+        assert np.all(F256.vmul(F256.vdiv(a, b), b) == a)
+
+    def test_vpow(self, F256):
+        a = np.arange(256)
+        for e in (0, 1, 2, 7, 254):
+            got = F256.vpow(a, e)
+            assert all(int(got[i]) == F256.pow(i, e) for i in range(256))
+
+    def test_vlog_vexp(self, F256):
+        a = np.arange(1, 256)
+        assert np.all(F256.vexp(F256.vlog(a)) == a)
+
+    def test_vlog_zero_raises(self, F8):
+        with pytest.raises(ValueError):
+            F8.vlog(np.array([0, 1]))
+
+    def test_broadcasting(self, F8):
+        a = np.arange(8).reshape(2, 4)
+        got = F8.vmul(a, np.full((2, 4), 3))
+        assert got.shape == (2, 4)
+
+
+class TestFieldAxiomsProperty:
+    @settings(max_examples=200)
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_distributivity(self, a, b, c):
+        F = GF2m.get(8)
+        assert F.mul(a, b ^ c) == F.mul(a, b) ^ F.mul(a, c)
+
+    @settings(max_examples=200)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_mul_commutative(self, a, b):
+        F = GF2m.get(8)
+        assert F.mul(a, b) == F.mul(b, a)
+
+    @settings(max_examples=200)
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_mul_associative(self, a, b, c):
+        F = GF2m.get(8)
+        assert F.mul(F.mul(a, b), c) == F.mul(a, F.mul(b, c))
+
+    @settings(max_examples=100)
+    @given(st.integers(1, 255))
+    def test_fermat(self, a):
+        F = GF2m.get(8)
+        assert F.pow(a, 255) == 1
+
+
+class TestIterationHelpers:
+    def test_elements(self, F8):
+        assert list(F8.elements()) == list(range(8))
+
+    def test_nonzero_elements_are_generator_powers(self, F8):
+        nz = F8.nonzero_elements()
+        assert nz[0] == 1 and set(nz.tolist()) == set(range(1, 8))
+
+    def test_random_elements_range(self, F256):
+        rng = np.random.default_rng(3)
+        vals = F256.random_elements(1000, rng)
+        assert vals.min() >= 0 and vals.max() < 256

@@ -1,0 +1,96 @@
+"""Tests for irreducibility / primitivity and the GF(2) polynomial table."""
+
+import pytest
+
+from repro.gf.irreducible import (
+    find_irreducible,
+    find_primitive,
+    is_irreducible,
+    is_primitive,
+)
+from repro.gf.poly import Poly
+from repro.gf.tables import PRIMITIVE_POLY_GF2
+
+
+class TestIsIrreducible:
+    def test_known_irreducible_gf2(self):
+        assert is_irreducible(Poly([1, 1, 0, 1], 2))  # x^3 + x + 1
+        assert is_irreducible(Poly([1, 1, 1], 2))  # x^2 + x + 1
+
+    def test_known_reducible_gf2(self):
+        assert not is_irreducible(Poly([1, 0, 1], 2))  # (x+1)^2
+        assert not is_irreducible(Poly([0, 1, 1], 2))  # x(x+1)
+
+    def test_linear_always_irreducible(self):
+        assert is_irreducible(Poly([1, 1], 2))
+        assert is_irreducible(Poly([3, 1], 5))
+
+    def test_zero_and_constants(self):
+        assert not is_irreducible(Poly.zero(2))
+        assert not is_irreducible(Poly.one(2))
+
+    def test_gf3(self):
+        assert is_irreducible(Poly([1, 0, 1], 3))  # x^2 + 1 over GF(3)
+        assert not is_irreducible(Poly([2, 0, 1], 3))  # x^2 + 2 = (x+1)(x+2)
+
+    def test_brute_force_agreement_gf2_deg4(self):
+        # compare against explicit factor search for all monic quartics
+        def brute(f):
+            for d in range(1, f.degree):
+                for mask in range(2**d, 2 ** (d + 1)):
+                    g = Poly.from_int(mask, 2)
+                    if g.degree == d and (f % g).is_zero():
+                        return False
+            return True
+
+        for mask in range(16, 32):
+            f = Poly.from_int(mask, 2)
+            assert is_irreducible(f) == brute(f), mask
+
+
+class TestIsPrimitive:
+    def test_primitive_examples(self):
+        assert is_primitive(Poly([1, 1, 0, 1], 2))  # x^3 + x + 1
+        assert is_primitive(Poly([1, 1, 0, 0, 1], 2))  # x^4 + x + 1
+
+    def test_irreducible_but_not_primitive(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible; x has order 5 != 15
+        f = Poly([1, 1, 1, 1, 1], 2)
+        assert is_irreducible(f)
+        assert not is_primitive(f)
+
+    def test_reducible_not_primitive(self):
+        assert not is_primitive(Poly([1, 0, 1], 2))
+
+
+class TestFinders:
+    @pytest.mark.parametrize("m", range(1, 9))
+    def test_find_irreducible_gf2(self, m):
+        assert is_irreducible(find_irreducible(2, m))
+
+    @pytest.mark.parametrize("p,m", [(3, 2), (3, 3), (5, 2), (7, 2)])
+    def test_find_irreducible_odd_char(self, p, m):
+        f = find_irreducible(p, m)
+        assert f.p == p and f.degree == m and is_irreducible(f)
+
+    @pytest.mark.parametrize("m", range(1, 9))
+    def test_find_primitive_gf2(self, m):
+        assert is_primitive(find_primitive(2, m))
+
+    def test_find_primitive_gf3(self):
+        assert is_primitive(find_primitive(3, 3))
+
+
+class TestTable:
+    @pytest.mark.parametrize("m", sorted(PRIMITIVE_POLY_GF2))
+    def test_every_table_entry_is_primitive(self, m):
+        if m > 20:
+            pytest.skip("primitivity check above degree 20 is slow in CI")
+        f = Poly.from_int(PRIMITIVE_POLY_GF2[m], 2)
+        assert f.degree == m
+        assert is_primitive(f)
+
+    def test_table_covers_experiment_range(self):
+        # fields used: q^n up to 2^20 and 2^(2n) up to 2^18 for n=9
+        for m in range(1, 21):
+            assert m in PRIMITIVE_POLY_GF2

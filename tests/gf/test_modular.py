@@ -1,0 +1,120 @@
+"""Unit tests for repro.gf.modular."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gf.modular import egcd, modinv, is_prime, log_star, int_nth_root
+
+
+class TestEgcd:
+    def test_basic(self):
+        g, x, y = egcd(12, 18)
+        assert g == 6
+        assert 12 * x + 18 * y == 6
+
+    def test_coprime(self):
+        g, x, y = egcd(17, 31)
+        assert g == 1
+        assert 17 * x + 31 * y == 1
+
+    def test_zero(self):
+        assert egcd(0, 5)[0] == 5
+        assert egcd(5, 0)[0] == 5
+
+    @given(st.integers(1, 10**9), st.integers(1, 10**9))
+    def test_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+
+
+class TestModinv:
+    def test_small(self):
+        assert modinv(3, 7) == 5  # 3*5 = 15 = 1 mod 7
+
+    def test_identity(self):
+        assert modinv(1, 97) == 1
+
+    def test_noninvertible_raises(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    @given(st.integers(2, 10**6))
+    def test_inverse_property(self, m):
+        a = 1 + (m // 2)
+        if math.gcd(a, m) == 1:
+            assert a * modinv(a, m) % m == 1
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 6, 9, 100, 561, 1105):  # includes Carmichaels
+            assert not is_prime(c)
+
+    def test_mersenne(self):
+        assert is_prime(2**31 - 1)
+        assert not is_prime(2**29 - 1)  # 233 * ...
+
+    def test_large_semiprime(self):
+        assert not is_prime((2**31 - 1) * (2**61 - 1))
+
+    def test_matches_sieve(self):
+        limit = 2000
+        sieve = [True] * limit
+        sieve[0] = sieve[1] = False
+        for i in range(2, int(limit**0.5) + 1):
+            if sieve[i]:
+                for j in range(i * i, limit, i):
+                    sieve[j] = False
+        for n in range(limit):
+            assert is_prime(n) == sieve[n], n
+
+
+class TestLogStar:
+    def test_base_cases(self):
+        assert log_star(0) == 0
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+
+    def test_small_values(self):
+        assert log_star(4) == 2  # log 4 = 2, log 2 = 1
+        assert log_star(16) == 3  # 16 -> 4 -> 2 -> 1
+        assert log_star(65536) == 4
+
+    def test_slow_growth(self):
+        # log* of anything remotely practical is tiny
+        assert log_star(2**64) <= 5
+        assert log_star(10**100) <= 6
+
+    def test_monotone(self):
+        vals = [log_star(n) for n in range(1, 200)]
+        assert vals == sorted(vals)
+
+
+class TestIntNthRoot:
+    def test_exact_roots(self):
+        assert int_nth_root(27, 3) == 3
+        assert int_nth_root(1024, 10) == 2
+
+    def test_floor_behavior(self):
+        assert int_nth_root(26, 3) == 2
+        assert int_nth_root(28, 3) == 3
+
+    def test_zero_and_one(self):
+        assert int_nth_root(0, 5) == 0
+        assert int_nth_root(1, 5) == 1
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            int_nth_root(-1, 2)
+
+    @given(st.integers(0, 10**15), st.integers(2, 8))
+    def test_floor_invariant(self, x, n):
+        r = int_nth_root(x, n)
+        assert r**n <= x < (r + 1) ** n

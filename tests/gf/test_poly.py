@@ -1,0 +1,160 @@
+"""Unit and property tests for repro.gf.poly."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gf.poly import Poly
+
+
+def poly_strategy(p: int, max_deg: int = 8):
+    return st.lists(st.integers(0, p - 1), max_size=max_deg + 1).map(
+        lambda cs: Poly(cs, p)
+    )
+
+
+class TestConstruction:
+    def test_trailing_zeros_trimmed(self):
+        assert Poly([1, 2, 0, 0], 5).coeffs == (1, 2)
+
+    def test_coefficients_reduced_mod_p(self):
+        assert Poly([7, 5], 5).coeffs == (2,)
+
+    def test_zero(self):
+        z = Poly.zero(3)
+        assert z.is_zero() and z.degree == -1
+
+    def test_monomial(self):
+        m = Poly.monomial(4, 2)
+        assert m.degree == 4 and m.coeffs == (0, 0, 0, 0, 1)
+
+    def test_bad_characteristic(self):
+        with pytest.raises(ValueError):
+            Poly([1], 1)
+
+
+class TestIntPacking:
+    def test_round_trip_gf2(self):
+        for v in range(64):
+            assert Poly.from_int(v, 2).to_int() == v
+
+    def test_round_trip_gf3(self):
+        for v in range(81):
+            assert Poly.from_int(v, 3).to_int() == v
+
+    def test_bit_semantics(self):
+        # 0b1011 = x^3 + x + 1
+        assert Poly.from_int(0b1011, 2).coeffs == (1, 1, 0, 1)
+
+
+class TestRingAxioms:
+    @given(poly_strategy(2), poly_strategy(2), poly_strategy(2))
+    def test_add_associative_gf2(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(poly_strategy(3), poly_strategy(3))
+    def test_add_commutative_gf3(self, a, b):
+        assert a + b == b + a
+
+    @given(poly_strategy(2), poly_strategy(2), poly_strategy(2))
+    def test_mul_distributes(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(poly_strategy(5), poly_strategy(5))
+    def test_mul_degree(self, a, b):
+        if not a.is_zero() and not b.is_zero():
+            assert (a * b).degree == a.degree + b.degree
+
+    @given(poly_strategy(3))
+    def test_additive_inverse(self, a):
+        assert (a + (-a)).is_zero()
+
+    def test_mixed_characteristic_raises(self):
+        with pytest.raises(ValueError):
+            Poly([1], 2) + Poly([1], 3)
+
+
+class TestDivision:
+    @given(poly_strategy(2, 10), poly_strategy(2, 6))
+    def test_divmod_identity_gf2(self, a, b):
+        if b.is_zero():
+            return
+        q, r = divmod(a, b)
+        assert q * b + r == a
+        assert r.degree < b.degree
+
+    @given(poly_strategy(5, 8), poly_strategy(5, 5))
+    def test_divmod_identity_gf5(self, a, b):
+        if b.is_zero():
+            return
+        q, r = divmod(a, b)
+        assert q * b + r == a
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            divmod(Poly([1], 2), Poly.zero(2))
+
+    def test_exact_division(self):
+        a = Poly([1, 1], 2)  # x + 1
+        sq = a * a  # x^2 + 1 over GF(2)
+        assert sq == Poly([1, 0, 1], 2)
+        q, r = divmod(sq, a)
+        assert r.is_zero() and q == a
+
+
+class TestPowMod:
+    def test_fermat_gf2(self):
+        # x^(2^3) == x mod any irreducible cubic
+        f = Poly([1, 1, 0, 1], 2)  # x^3 + x + 1
+        x = Poly.x(2)
+        assert x.pow_mod(8, f) == x
+
+    def test_zero_exponent(self):
+        f = Poly([1, 1, 0, 1], 2)
+        assert Poly([0, 1], 2).pow_mod(0, f) == Poly.one(2)
+
+    def test_negative_exponent_raises(self):
+        with pytest.raises(ValueError):
+            Poly.x(2).pow_mod(-1, Poly([1, 1], 2))
+
+    @given(st.integers(0, 50), st.integers(0, 50))
+    def test_exponent_addition(self, e1, e2):
+        f = Poly([1, 1, 0, 0, 1], 2)  # x^4 + x + 1, irreducible
+        x = Poly.x(2)
+        assert (x.pow_mod(e1, f) * x.pow_mod(e2, f)) % f == x.pow_mod(e1 + e2, f)
+
+
+class TestGcd:
+    def test_coprime(self):
+        a = Poly([1, 1], 2)
+        b = Poly([1, 1, 1], 2)
+        assert a.gcd(b) == Poly.one(2)
+
+    def test_common_factor(self):
+        a = Poly([1, 1], 2)
+        b = Poly([1, 0, 1], 2)  # (x+1)^2 over GF(2)
+        assert b.gcd(a) == a
+
+    def test_with_zero(self):
+        a = Poly([1, 2], 5)
+        assert a.gcd(Poly.zero(5)) == a.monic()
+
+    @given(poly_strategy(3, 6), poly_strategy(3, 6))
+    def test_gcd_divides_both(self, a, b):
+        g = a.gcd(b)
+        if g.is_zero():
+            assert a.is_zero() and b.is_zero()
+        else:
+            assert (a % g).is_zero() and (b % g).is_zero()
+
+
+class TestEvalDerivative:
+    def test_eval_horner(self):
+        f = Poly([1, 2, 3], 5)  # 3x^2 + 2x + 1
+        assert f(2) == (3 * 4 + 2 * 2 + 1) % 5
+
+    def test_derivative_gf2_kills_even_powers(self):
+        f = Poly([1, 1, 1, 1], 2)  # x^3 + x^2 + x + 1
+        assert f.derivative() == Poly([1, 0, 1], 2)  # 3x^2 + 2x + 1 = x^2 + 1
+
+    def test_derivative_of_constant(self):
+        assert Poly([4], 7).derivative().is_zero()

@@ -1,0 +1,139 @@
+"""Tests for subfield embeddings, Frobenius and (w,1)-basis splitting."""
+
+import numpy as np
+import pytest
+
+from repro.gf.gf2m import GF2m
+from repro.gf.subfield import (
+    BasisDecomposition,
+    FieldEmbedding,
+    frobenius_power,
+    in_subfield,
+)
+
+
+@pytest.fixture(scope="module")
+def emb_3_6():
+    return FieldEmbedding(GF2m.get(3), GF2m.get(6))
+
+
+@pytest.fixture(scope="module")
+def emb_5_10():
+    return FieldEmbedding(GF2m.get(5), GF2m.get(10))
+
+
+class TestInSubfield:
+    def test_counts(self):
+        L = GF2m.get(6)
+        members = [a for a in range(64) if in_subfield(L, a, 3)]
+        assert len(members) == 8  # GF(8) inside GF(64)
+        members2 = [a for a in range(64) if in_subfield(L, a, 2)]
+        assert len(members2) == 4
+
+    def test_non_divisor_raises(self):
+        with pytest.raises(ValueError):
+            in_subfield(GF2m.get(6), 1, 4)
+
+    def test_frobenius_power(self):
+        L = GF2m.get(6)
+        for a in range(64):
+            assert frobenius_power(L, a, 1) == L.mul(a, a)
+
+
+class TestFieldEmbedding:
+    def test_is_homomorphism(self, emb_3_6):
+        K, L = emb_3_6.K, emb_3_6.L
+        for a in range(8):
+            for b in range(8):
+                assert emb_3_6.embed(K.mul(a, b)) == L.mul(
+                    emb_3_6.embed(a), emb_3_6.embed(b)
+                )
+                assert emb_3_6.embed(a ^ b) == emb_3_6.embed(a) ^ emb_3_6.embed(b)
+
+    def test_injective_and_fixes_01(self, emb_3_6):
+        images = {emb_3_6.embed(a) for a in range(8)}
+        assert len(images) == 8
+        assert emb_3_6.embed(0) == 0 and emb_3_6.embed(1) == 1
+
+    def test_image_is_the_subfield(self, emb_3_6):
+        L = emb_3_6.L
+        images = {emb_3_6.embed(a) for a in range(8)}
+        subfield = {a for a in range(64) if in_subfield(L, a, 3)}
+        assert images == subfield
+
+    def test_project_round_trip(self, emb_5_10):
+        for a in range(32):
+            assert emb_5_10.project(emb_5_10.embed(a)) == a
+
+    def test_project_outside_raises(self, emb_3_6):
+        outside = next(
+            b for b in range(64) if not emb_3_6.contains(b)
+        )
+        with pytest.raises(ValueError):
+            emb_3_6.project(outside)
+
+    def test_vectorized_agree(self, emb_3_6):
+        a = np.arange(8)
+        assert list(emb_3_6.vembed(a)) == [emb_3_6.embed(int(x)) for x in a]
+        assert list(emb_3_6.vproject(emb_3_6.vembed(a))) == list(a)
+
+    def test_vcontains(self, emb_3_6):
+        all_l = np.arange(64)
+        mask = emb_3_6.vcontains(all_l)
+        assert int(mask.sum()) == 8
+
+    def test_non_divisor_raises(self):
+        with pytest.raises(ValueError):
+            FieldEmbedding(GF2m.get(4), GF2m.get(6))
+
+    def test_same_degree_isomorphism(self):
+        # embedding GF(2^3) into itself is an automorphism fixing GF(2)
+        e = FieldEmbedding(GF2m.get(3), GF2m.get(3))
+        K = GF2m.get(3)
+        for a in range(8):
+            for b in range(8):
+                assert e.embed(K.mul(a, b)) == K.mul(e.embed(a), e.embed(b))
+
+
+class TestBasisDecomposition:
+    @pytest.fixture(scope="class")
+    def bd(self):
+        K, L = GF2m.get(3), GF2m.get(6)
+        emb = FieldEmbedding(K, L)
+        w = L.exp((L.order - 1) // 3)  # generator of F_4^*
+        return BasisDecomposition(emb, w)
+
+    def test_round_trip_all(self, bd):
+        for u in range(64):
+            z, v = bd.split(u)
+            assert bd.combine(z, v) == u
+
+    def test_split_of_subfield_elements(self, bd):
+        # subfield elements have z = 0
+        for a in range(8):
+            z, v = bd.split(bd.embedding.embed(a))
+            assert z == 0 and v == a
+
+    def test_split_unique(self, bd):
+        seen = set()
+        for u in range(64):
+            seen.add(bd.split(u))
+        assert len(seen) == 64
+
+    def test_vectorized_agree(self, bd):
+        u = np.arange(64)
+        z, v = bd.vsplit(u)
+        for i in range(64):
+            assert (int(z[i]), int(v[i])) == bd.split(i)
+        assert np.all(bd.vcombine(z, v) == u)
+
+    def test_w_in_subfield_rejected(self):
+        K, L = GF2m.get(3), GF2m.get(6)
+        emb = FieldEmbedding(K, L)
+        with pytest.raises(ValueError):
+            BasisDecomposition(emb, emb.embed(3))
+
+    def test_non_quadratic_rejected(self):
+        emb = FieldEmbedding(GF2m.get(2), GF2m.get(6))
+        with pytest.raises(ValueError):
+            BasisDecomposition(emb, 5)

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.q == 2 and args.n == 5
+
+
+class TestInfo:
+    def test_prints_structure(self, capsys):
+        assert main(["info", "-q", "2", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "| N | 63 |" in out
+        assert "| M | 84 |" in out
+
+    def test_bad_q(self, capsys):
+        assert main(["info", "-q", "3", "-n", "3"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestLocate:
+    def test_locates(self, capsys):
+        assert main(["locate", "-q", "2", "-n", "3", "0", "83"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("| 0 |") >= 3  # three copies of variable 0
+
+    def test_out_of_range(self, capsys):
+        assert main(["locate", "-q", "2", "-n", "3", "84"]) == 2
+
+
+class TestAccess:
+    @pytest.mark.parametrize("workload", ["uniform", "strided", "hotspot",
+                                          "neighborhood"])
+    def test_workloads(self, capsys, workload):
+        assert main(
+            ["access", "-q", "2", "-n", "5", "--count", "60",
+             "--workload", workload]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Phi (max)" in out
+
+    @pytest.mark.parametrize("op", ["count", "read", "write"])
+    def test_ops(self, capsys, op):
+        assert main(
+            ["access", "-q", "2", "-n", "5", "--count", "64", "--op", op]
+        ) == 0
+
+    def test_count_too_large(self, capsys):
+        assert main(["access", "-q", "2", "-n", "3", "--count", "10000"]) == 2
+
+
+class TestSweep:
+    def test_rows(self, capsys):
+        assert main(["sweep", "--max-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "| 3 | 63 |" in out
+        assert "| 5 | 1023 |" in out
+
+
+class TestExpansion:
+    def test_ratio_at_least_one(self, capsys):
+        assert main(
+            ["expansion", "-q", "2", "-n", "5", "--sizes", "16", "64",
+             "--trials", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "expansion profile" in out

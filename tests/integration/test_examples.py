@@ -1,0 +1,33 @@
+"""The examples must run clean end to end (they are executable docs)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "pram_simulation.py", "replicated_storage.py",
+     "scheme_shootout.py", "fault_tolerance.py",
+     "bounded_degree_network.py", "parallel_database.py"],
+)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_directory_complete():
+    present = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    assert "quickstart.py" in present
+    assert len(present) >= 4

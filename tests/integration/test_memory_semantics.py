@@ -1,0 +1,118 @@
+"""Integration: sequential consistency of majority read/write histories.
+
+The paper's correctness argument (inherited from [UW87]/[Tho79]): any
+read majority intersects any write majority, and timestamps order the
+writes; hence every read returns the value of the latest completed
+write.  These tests drive long random histories through the full stack
+(addressing -> placement -> protocol -> MPC -> store) and check against
+a flat reference memory.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.scheme import PPScheme
+from repro.schemes.pp_adapter import PPAdapter
+from repro.schemes.upfal_wigderson import UpfalWigdersonScheme
+
+
+class TestRandomHistories:
+    @pytest.mark.parametrize("arbitration", ["lowest", "random", "rotating"])
+    def test_against_reference_memory(self, scheme_2_5, arbitration):
+        s = scheme_2_5
+        rng = np.random.default_rng(99)
+        store = s.make_store()
+        reference = {}
+        t = 1
+        for _ in range(12):
+            count = int(rng.integers(1, 400))
+            idx = np.sort(rng.choice(s.M, count, replace=False)).astype(np.int64)
+            if rng.random() < 0.5:
+                vals = rng.integers(0, 1 << 20, count)
+                s.write(idx, values=vals, store=store, time=t, arbitration=arbitration)
+                for i, v in zip(idx, vals):
+                    reference[int(i)] = int(v)
+            else:
+                res = s.read(idx, store=store, time=t, arbitration=arbitration)
+                for i, v in zip(idx, res.values):
+                    assert int(v) == reference.get(int(i), -1)
+            t += 1
+
+    def test_interleaved_disjoint_batches(self, scheme_2_3):
+        # two disjoint halves written at different times; reads see both
+        s = scheme_2_3
+        store = s.make_store()
+        all_idx = np.arange(s.M, dtype=np.int64)
+        a, b = all_idx[::2], all_idx[1::2]
+        s.write(a, values=a + 1000, store=store, time=1)
+        s.write(b, values=b + 2000, store=store, time=2)
+        res = s.read(all_idx, store=store, time=3)
+        assert (res.values[::2] == a + 1000).all()
+        assert (res.values[1::2] == b + 2000).all()
+
+    def test_q4_history(self, scheme_4_3):
+        s = scheme_4_3
+        store = s.make_store()
+        rng = np.random.default_rng(5)
+        reference = {}
+        for t in range(1, 8):
+            idx = np.sort(rng.choice(s.M, 200, replace=False)).astype(np.int64)
+            vals = rng.integers(0, 1 << 16, 200)
+            s.write(idx, values=vals, store=store, time=t)
+            for i, v in zip(idx, vals):
+                reference[int(i)] = int(v)
+        probe = np.array(sorted(reference), dtype=np.int64)[:500]
+        res = s.read(probe, store=store, time=100)
+        for i, v in zip(probe, res.values):
+            assert int(v) == reference[int(i)]
+
+
+class TestPropertyBasedSemantics:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.booleans(),  # write?
+                st.integers(0, 6),  # seed offset
+                st.integers(1, 60),  # batch size
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_uw_and_pp_agree_with_reference(self, ops):
+        pp = PPScheme(2, 3)
+        store = pp.make_store()
+        reference = {}
+        rng_master = np.random.default_rng(7)
+        t = 1
+        for is_write, seed_off, size in ops:
+            rng = np.random.default_rng(1000 + seed_off)
+            size = min(size, pp.M)
+            idx = np.sort(rng.choice(pp.M, size, replace=False)).astype(np.int64)
+            if is_write:
+                vals = rng_master.integers(0, 1 << 10, size)
+                pp.write(idx, values=vals, store=store, time=t)
+                for i, v in zip(idx, vals):
+                    reference[int(i)] = int(v)
+            else:
+                res = pp.read(idx, store=store, time=t)
+                for i, v in zip(idx, res.values):
+                    assert int(v) == reference.get(int(i), -1)
+            t += 1
+
+
+class TestCrossSchemeEquivalence:
+    def test_all_schemes_read_what_they_wrote(self):
+        N, M = 1023, 5456
+        schemes = [
+            PPAdapter(2, 5),
+            UpfalWigdersonScheme(N, M, c=2, seed=1),
+        ]
+        for sch in schemes:
+            idx = sch.random_request_set(300, seed=4)
+            st_ = sch.make_store()
+            sch.write(idx, values=idx + 5, store=st_, time=1)
+            res = sch.read(idx, store=st_, time=2)
+            assert (res.values == idx + 5).all(), sch.name

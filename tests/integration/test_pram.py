@@ -1,0 +1,216 @@
+"""Tests for the PRAM emulation layer and its algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.pram import (
+    PRAM,
+    bitonic_sort,
+    compact,
+    list_ranking,
+    odd_even_sort,
+    parallel_max,
+    prefix_sums,
+)
+from repro.schemes.pp_adapter import PPAdapter
+from repro.schemes.single_copy import SingleCopyScheme
+from repro.schemes.upfal_wigderson import UpfalWigdersonScheme
+
+
+@pytest.fixture(scope="module")
+def pp_scheme():
+    return PPAdapter(2, 5)
+
+
+def make_list(n, rng):
+    perm = rng.permutation(n)
+    succ = np.empty(n, dtype=np.int64)
+    for i in range(n - 1):
+        succ[perm[i]] = perm[i + 1]
+    succ[perm[-1]] = perm[-1]
+    expect = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        expect[perm[i]] = n - 1 - i
+    return succ, expect
+
+
+class TestMachine:
+    def test_read_before_write(self, pp_scheme):
+        pram = PRAM(pp_scheme)
+        got = pram.parallel_read(np.array([1, 2, 3]))
+        assert got.tolist() == [-1, -1, -1]
+
+    def test_write_then_read(self, pp_scheme):
+        pram = PRAM(pp_scheme)
+        pram.parallel_write(np.array([5, 9]), np.array([50, 90]))
+        assert pram.parallel_read(np.array([9, 5, 9])).tolist() == [90, 50, 90]
+
+    def test_concurrent_read_combining(self, pp_scheme):
+        pram = PRAM(pp_scheme)
+        pram.parallel_write(np.array([3]), np.array([7]))
+        got = pram.parallel_read(np.full(64, 3))
+        assert (got == 7).all()
+        # combined into ONE protocol request: cost far below 64 serial hits
+        assert pram.mpc_iterations <= 6
+
+    def test_concurrent_write_arbitrary(self, pp_scheme):
+        pram = PRAM(pp_scheme, combine="arbitrary")
+        pram.parallel_write(np.array([4, 4, 4]), np.array([1, 2, 3]))
+        assert int(pram.parallel_read(np.array([4]))[0]) == 1  # lowest proc wins
+
+    @pytest.mark.parametrize("rule,expect", [("max", 9), ("min", 2), ("sum", 18)])
+    def test_combining_rules(self, pp_scheme, rule, expect):
+        pram = PRAM(pp_scheme, combine=rule)
+        pram.parallel_write(np.array([0, 0, 0]), np.array([7, 2, 9]))
+        assert int(pram.parallel_read(np.array([0]))[0]) == expect
+
+    def test_bad_combine_rule(self, pp_scheme):
+        with pytest.raises(ValueError):
+            PRAM(pp_scheme, combine="xor")
+
+    def test_address_bounds(self, pp_scheme):
+        pram = PRAM(pp_scheme)
+        with pytest.raises(ValueError):
+            pram.parallel_read(np.array([pp_scheme.M]))
+        with pytest.raises(ValueError):
+            pram.parallel_write(np.array([-1]), np.array([0]))
+
+    def test_shape_mismatch(self, pp_scheme):
+        pram = PRAM(pp_scheme)
+        with pytest.raises(ValueError):
+            pram.parallel_write(np.array([1, 2]), np.array([1]))
+
+    def test_empty_steps_free(self, pp_scheme):
+        pram = PRAM(pp_scheme)
+        assert pram.parallel_read(np.empty(0, dtype=np.int64)).size == 0
+        pram.parallel_write(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert pram.steps == 0
+
+    def test_load_dump(self, pp_scheme):
+        pram = PRAM(pp_scheme)
+        data = np.arange(30) * 2
+        pram.load(10, data)
+        assert (pram.dump(10, 30) == data).all()
+
+    def test_cost_accumulates(self, pp_scheme):
+        pram = PRAM(pp_scheme)
+        pram.load(0, np.arange(100))
+        _ = pram.dump(0, 100)
+        c = pram.cost_summary()
+        assert c["pram_steps"] == 2
+        assert c["mpc_iterations"] >= 2
+        assert c["modeled_mpc_steps"] > c["mpc_iterations"]
+
+
+class TestAlgorithms:
+    def test_prefix_sums(self, pp_scheme, rng):
+        data = rng.integers(0, 1000, 200)
+        pram = PRAM(pp_scheme)
+        assert (prefix_sums(pram, data) == np.cumsum(data)).all()
+
+    def test_prefix_sums_singleton_and_empty(self, pp_scheme):
+        pram = PRAM(pp_scheme)
+        assert prefix_sums(pram, np.array([7])).tolist() == [7]
+        assert prefix_sums(pram, np.array([], dtype=np.int64)).size == 0
+
+    def test_list_ranking(self, pp_scheme, rng):
+        succ, expect = make_list(64, rng)
+        pram = PRAM(pp_scheme)
+        assert (list_ranking(pram, succ, base=500) == expect).all()
+
+    def test_list_ranking_non_power_of_two(self, pp_scheme, rng):
+        succ, expect = make_list(37, rng)
+        pram = PRAM(pp_scheme)
+        assert (list_ranking(pram, succ) == expect).all()
+
+    def test_parallel_max(self, pp_scheme, rng):
+        data = rng.integers(-5000, 5000, 99) + 5000
+        pram = PRAM(pp_scheme)
+        assert parallel_max(pram, data) == int(data.max())
+
+    def test_parallel_max_empty(self, pp_scheme):
+        with pytest.raises(ValueError):
+            parallel_max(PRAM(pp_scheme), np.array([], dtype=np.int64))
+
+    def test_compact(self, pp_scheme, rng):
+        data = rng.integers(0, 1000, 150)
+        keep = rng.random(150) < 0.4
+        pram = PRAM(pp_scheme)
+        got = compact(pram, data, keep)
+        assert got.tolist() == data[keep].tolist()
+
+    def test_compact_none_kept(self, pp_scheme):
+        pram = PRAM(pp_scheme)
+        got = compact(pram, np.arange(10), np.zeros(10, dtype=bool))
+        assert got.size == 0
+
+    def test_compact_all_kept(self, pp_scheme):
+        pram = PRAM(pp_scheme)
+        data = np.arange(20) * 3
+        assert (compact(pram, data, np.ones(20, dtype=bool)) == data).all()
+
+    def test_compact_shape_mismatch(self, pp_scheme):
+        with pytest.raises(ValueError):
+            compact(PRAM(pp_scheme), np.arange(5), np.ones(4, dtype=bool))
+
+    def test_odd_even_sort(self, pp_scheme, rng):
+        data = rng.integers(0, 10_000, 48)
+        pram = PRAM(pp_scheme)
+        assert odd_even_sort(pram, data).tolist() == sorted(data.tolist())
+
+    def test_odd_even_sort_with_duplicates(self, pp_scheme, rng):
+        data = rng.integers(0, 5, 30)
+        pram = PRAM(pp_scheme)
+        assert odd_even_sort(pram, data).tolist() == sorted(data.tolist())
+
+    def test_odd_even_sort_trivial(self, pp_scheme):
+        pram = PRAM(pp_scheme)
+        assert odd_even_sort(pram, np.array([5])).tolist() == [5]
+        assert odd_even_sort(pram, np.array([], dtype=np.int64)).size == 0
+
+    def test_sort_already_sorted(self, pp_scheme):
+        pram = PRAM(pp_scheme)
+        data = np.arange(25)
+        assert (odd_even_sort(pram, data) == data).all()
+
+    @pytest.mark.parametrize("n", [2, 16, 33, 100])
+    def test_bitonic_sort(self, pp_scheme, rng, n):
+        data = rng.integers(0, 10_000, n)
+        pram = PRAM(pp_scheme)
+        assert bitonic_sort(pram, data).tolist() == sorted(data.tolist())
+
+    def test_bitonic_vs_odd_even_round_counts(self, pp_scheme, rng):
+        data = rng.integers(0, 1000, 64)
+        p1, p2 = PRAM(pp_scheme), PRAM(pp_scheme)
+        assert bitonic_sort(p1, data).tolist() == odd_even_sort(p2, data).tolist()
+        # bitonic: O(log^2 n) rounds; odd-even: O(n) rounds
+        assert p1.steps < p2.steps
+
+    def test_bitonic_duplicates_and_sorted(self, pp_scheme, rng):
+        pram = PRAM(pp_scheme)
+        data = np.array([5, 5, 5, 1, 1, 9])
+        assert bitonic_sort(pram, data).tolist() == [1, 1, 5, 5, 5, 9]
+        pram = PRAM(pp_scheme)
+        assert (bitonic_sort(pram, np.arange(17)) == np.arange(17)).all()
+
+    def test_logarithmic_round_count(self, pp_scheme, rng):
+        # doubling algorithms: PRAM steps ~ 3-5 log n, not ~ n
+        data = rng.integers(0, 100, 256)
+        pram = PRAM(pp_scheme)
+        prefix_sums(pram, data)
+        assert pram.steps <= 5 * 8 + 5
+
+
+class TestCrossScheme:
+    @pytest.mark.parametrize(
+        "scheme_factory",
+        [
+            lambda: PPAdapter(2, 5),
+            lambda: UpfalWigdersonScheme(1023, 5456, c=2, seed=3),
+            lambda: SingleCopyScheme(1023, 5456, seed=3),
+        ],
+    )
+    def test_same_answers_different_costs(self, scheme_factory, rng):
+        data = rng.integers(0, 100, 128)
+        pram = PRAM(scheme_factory())
+        assert (prefix_sums(pram, data) == np.cumsum(data)).all()

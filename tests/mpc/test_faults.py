@@ -1,0 +1,73 @@
+"""Tests for fault schedules and the availability simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheme import PPScheme
+from repro.mpc.faults import FaultSchedule, simulate_availability
+
+
+class TestFaultSchedule:
+    def test_no_failures(self):
+        fs = FaultSchedule(100, 0.0)
+        for _ in range(5):
+            assert fs.step().size == 0
+
+    def test_all_fail_instantly(self):
+        fs = FaultSchedule(50, 1.0)
+        assert fs.step().size == 50
+
+    def test_permanent_failures_accumulate(self):
+        fs = FaultSchedule(1000, 0.05, repair_lag=0, seed=1)
+        sizes = [fs.step().size for _ in range(20)]
+        assert sizes == sorted(sizes)  # monotone without repair
+        assert sizes[-1] > sizes[0]
+
+    def test_repair_caps_failures(self):
+        fs = FaultSchedule(1000, 0.05, repair_lag=3, seed=2)
+        sizes = [fs.step().size for _ in range(40)]
+        # steady state ~ rate * lag * N, far below the permanent case
+        assert max(sizes[10:]) < 400
+
+    def test_repaired_modules_return(self):
+        fs = FaultSchedule(10, 1.0, repair_lag=1, seed=3)
+        first = set(fs.step().tolist())
+        assert len(first) == 10
+        second = fs.step()
+        # everything failed at t=1 is repaired by t=2 (lag 1), though new
+        # failures happen; the *same* down set cannot persist
+        assert fs.clock == 2
+        _ = second
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(10, 1.5)
+        with pytest.raises(ValueError):
+            FaultSchedule(10, 0.1, repair_lag=-1)
+
+
+class TestAvailabilitySimulation:
+    def test_healthy_run(self):
+        s = PPScheme(2, 5)
+        idx = s.random_request_set(300, seed=0)
+        fs = FaultSchedule(s.N, 0.0)
+        tr = simulate_availability(s, idx, fs, steps=4)
+        assert tr.reads_correct
+        assert tr.worst_unavailable == 0
+
+    def test_failures_with_repair_stay_available_mostly(self):
+        s = PPScheme(2, 5)
+        idx = s.random_request_set(500, seed=1)
+        fs = FaultSchedule(s.N, 0.01, repair_lag=2, seed=4)
+        tr = simulate_availability(s, idx, fs, steps=10)
+        assert tr.reads_correct  # survivors always exact
+        # ~1% module failure, repairing: unavailability stays tiny
+        assert tr.worst_unavailable < 50
+
+    def test_catastrophic_rate_loses_variables_not_correctness(self):
+        s = PPScheme(2, 3)
+        idx = s.random_request_set(60, seed=2)
+        fs = FaultSchedule(s.N, 0.5, repair_lag=0, seed=5)
+        tr = simulate_availability(s, idx, fs, steps=5)
+        assert tr.reads_correct
+        assert tr.unavailable_per_step[-1] > 0  # eventually variables die

@@ -1,0 +1,52 @@
+"""Tests for the timestamped copy store."""
+
+import numpy as np
+import pytest
+
+from repro.mpc.memory import SharedCopyStore
+
+
+class TestSharedCopyStore:
+    def test_initial_state(self):
+        st = SharedCopyStore(4, 3)
+        vals, stamps = st.read(np.array([0, 1]), np.array([0, 2]))
+        assert vals.tolist() == [0, 0]
+        assert stamps.tolist() == [-1, -1]
+
+    def test_write_read_round_trip(self):
+        st = SharedCopyStore(4, 3)
+        st.write(np.array([1, 2]), np.array([0, 1]), np.array([10, 20]), 5)
+        vals, stamps = st.read(np.array([1, 2]), np.array([0, 1]))
+        assert vals.tolist() == [10, 20]
+        assert stamps.tolist() == [5, 5]
+
+    def test_per_element_time(self):
+        st = SharedCopyStore(4, 3)
+        st.write(np.array([0, 0]), np.array([0, 1]), np.array([1, 2]), np.array([7, 9]))
+        _, stamps = st.read(np.array([0, 0]), np.array([0, 1]))
+        assert stamps.tolist() == [7, 9]
+
+    def test_overwrite(self):
+        st = SharedCopyStore(2, 1)
+        st.write(np.array([0]), np.array([0]), np.array([1]), 1)
+        st.write(np.array([0]), np.array([0]), np.array([2]), 2)
+        vals, stamps = st.read(np.array([0]), np.array([0]))
+        assert vals.tolist() == [2] and stamps.tolist() == [2]
+
+    def test_2d_indexing(self):
+        st = SharedCopyStore(8, 4)
+        mods = np.array([[0, 1], [2, 3]])
+        slots = np.array([[0, 1], [2, 3]])
+        st.write(mods, slots, np.array([[1, 2], [3, 4]]), 1)
+        vals, _ = st.read(mods, slots)
+        assert vals.tolist() == [[1, 2], [3, 4]]
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            SharedCopyStore(0, 3)
+        with pytest.raises(ValueError):
+            SharedCopyStore(3, 0)
+
+    def test_footprint(self):
+        st = SharedCopyStore(10, 10)
+        assert st.footprint_bytes() == 2 * 10 * 10 * 8

@@ -1,0 +1,31 @@
+"""Tests for MPC statistics accumulation."""
+
+from repro.mpc.stats import MPCStats
+
+
+class TestMPCStats:
+    def test_record(self):
+        s = MPCStats()
+        s.record_step(5, 3, 2)
+        s.record_step(2, 2, 1)
+        assert s.steps == 2 and s.requests == 7 and s.served == 5
+        assert s.max_congestion == 2
+
+    def test_history_only_when_enabled(self):
+        s = MPCStats()
+        s.record_step(1, 1, 1)
+        assert s.served_per_step == []
+        h = MPCStats(keep_history=True)
+        h.record_step(1, 1, 1)
+        h.record_step(4, 2, 3)
+        assert h.served_per_step == [1, 2]
+
+    def test_merge(self):
+        a = MPCStats(keep_history=True)
+        a.record_step(3, 2, 2)
+        b = MPCStats(keep_history=True)
+        b.record_step(5, 4, 3)
+        a.merge(b)
+        assert a.steps == 2 and a.requests == 8 and a.served == 6
+        assert a.max_congestion == 3
+        assert a.served_per_step == [2, 4]

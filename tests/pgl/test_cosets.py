@@ -1,0 +1,131 @@
+"""Tests for module/variable coset canonicalization -- the closed forms
+against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.gf.gf2m import GF2m
+from repro.gf.subfield import FieldEmbedding
+from repro.pgl.cosets import ModuleCosets, VariableCosets
+from repro.pgl.matrix import enumerate_pgl2, pgl2_mul
+from repro.pgl.subgroups import SubgroupH0, SubgroupHn1
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    Fq, F = GF2m.get(1), GF2m.get(3)
+    emb = FieldEmbedding(Fq, F)
+    return {
+        "F": F,
+        "emb": emb,
+        "H0": SubgroupH0(emb),
+        "Hn1": SubgroupHn1(emb),
+        "mods": ModuleCosets(F, emb),
+        "vars": VariableCosets(F, SubgroupH0(emb)),
+    }
+
+
+class TestModuleCosets:
+    def test_counts(self, ctx):
+        assert ctx["mods"].N == 63 and ctx["mods"].rho == 7
+
+    def test_rep_round_trip(self, ctx):
+        mods = ctx["mods"]
+        for j in range(mods.N):
+            assert mods.index_of(mods.rep_of(j)) == j
+
+    def test_rep_out_of_range(self, ctx):
+        with pytest.raises(ValueError):
+            ctx["mods"].rep_of(63)
+        with pytest.raises(ValueError):
+            ctx["mods"].rep_of(-1)
+
+    def test_constant_on_cosets(self, ctx):
+        F, mods, Hn1 = ctx["F"], ctx["mods"], ctx["Hn1"]
+        for g in list(enumerate_pgl2(F))[::5]:
+            j = mods.index_of(g)
+            for h in Hn1.elements():
+                assert mods.index_of(pgl2_mul(F, g, h)) == j
+
+    def test_partition(self, ctx):
+        from collections import Counter
+
+        F, mods, Hn1 = ctx["F"], ctx["mods"], ctx["Hn1"]
+        counts = Counter(mods.index_of(g) for g in enumerate_pgl2(F))
+        assert len(counts) == mods.N
+        assert set(counts.values()) == {Hn1.order}
+
+    def test_singular_raises(self, ctx):
+        with pytest.raises(ValueError):
+            ctx["mods"].index_of((1, 1, 1, 1))
+        with pytest.raises(ValueError):
+            ctx["mods"].index_of((0, 1, 0, 1))
+
+    def test_canon_is_rep(self, ctx):
+        F, mods = ctx["F"], ctx["mods"]
+        for g in list(enumerate_pgl2(F))[::17]:
+            c = mods.canon(g)
+            assert mods.index_of(c) == mods.index_of(g)
+            assert c == mods.rep_of(mods.index_of(g))
+
+    def test_vindex_matches_scalar(self, ctx):
+        F, mods = ctx["F"], ctx["mods"]
+        mats = list(enumerate_pgl2(F))
+        arr = np.array(mats, dtype=np.int64)
+        got = mods.vindex((arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3]))
+        want = [mods.index_of(m) for m in mats]
+        assert got.tolist() == want
+
+    def test_vindex_singular_raises(self, ctx):
+        with pytest.raises(ValueError):
+            ctx["mods"].vindex(tuple(np.array([v]) for v in (1, 1, 1, 1)))
+
+    def test_q4_partition(self):
+        from collections import Counter
+
+        Fq, F = GF2m.get(2), GF2m.get(6)
+        emb = FieldEmbedding(Fq, F)
+        mods = ModuleCosets(F, emb)
+        Hn1 = SubgroupHn1(emb)
+        counts = Counter(mods.index_of(g) for g in enumerate_pgl2(F))
+        assert len(counts) == mods.N == 1365
+        assert set(counts.values()) == {Hn1.order}
+
+
+class TestVariableCosets:
+    def test_M(self, ctx):
+        assert ctx["vars"].M == 84
+
+    def test_canon_constant_on_cosets(self, ctx):
+        F, vars_, H0 = ctx["F"], ctx["vars"], ctx["H0"]
+        for g in list(enumerate_pgl2(F))[::7]:
+            c = vars_.canon(g)
+            for h in H0.elements():
+                assert vars_.canon(pgl2_mul(F, g, h)) == c
+
+    def test_partition(self, ctx):
+        from collections import Counter
+
+        F, vars_, H0 = ctx["F"], ctx["vars"], ctx["H0"]
+        counts = Counter(vars_.key(g) for g in enumerate_pgl2(F))
+        assert len(counts) == 84
+        assert set(counts.values()) == {H0.order}
+
+    def test_key_unkey_round_trip(self, ctx):
+        F, vars_ = ctx["F"], ctx["vars"]
+        for g in list(enumerate_pgl2(F))[::11]:
+            k = vars_.key(g)
+            assert vars_.key(vars_.unkey(k)) == k
+
+    def test_same_coset(self, ctx):
+        F, vars_, H0 = ctx["F"], ctx["vars"], ctx["H0"]
+        g = (2, 3, 1, 1)
+        h = H0.elements()[3]
+        assert vars_.same_coset(g, pgl2_mul(F, g, h))
+        assert not vars_.same_coset(g, (4, 3, 1, 1)) or vars_.canon(g) == vars_.canon((4, 3, 1, 1))
+
+    def test_vkey_batch(self, ctx):
+        vars_ = ctx["vars"]
+        mats = [(2, 3, 1, 1), (1, 0, 0, 1), (5, 1, 1, 0)]
+        got = vars_.vkey_batch(mats)
+        assert got.tolist() == [vars_.key(m) for m in mats]

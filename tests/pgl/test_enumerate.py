@@ -1,0 +1,67 @@
+"""Tests for exhaustive coset-space enumeration (ground truth builders)."""
+
+import pytest
+
+from repro.gf.gf2m import GF2m
+from repro.gf.subfield import FieldEmbedding
+from repro.pgl.cosets import ModuleCosets, VariableCosets
+from repro.pgl.enumerate import (
+    build_explicit_edges,
+    enumerate_module_cosets,
+    enumerate_variable_cosets,
+)
+from repro.pgl.subgroups import SubgroupH0, SubgroupHn1
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    Fq, F = GF2m.get(1), GF2m.get(3)
+    emb = FieldEmbedding(Fq, F)
+    H0 = SubgroupH0(emb)
+    return {
+        "F": F,
+        "H0": H0,
+        "Hn1": SubgroupHn1(emb),
+        "mods": ModuleCosets(F, emb),
+        "vars": VariableCosets(F, H0),
+    }
+
+
+class TestEnumerateVariables:
+    def test_count_and_distinct(self, ctx):
+        out = enumerate_variable_cosets(ctx["F"], ctx["vars"])
+        assert len(out) == 84
+        assert len(set(out)) == 84
+
+    def test_all_canonical(self, ctx):
+        out = enumerate_variable_cosets(ctx["F"], ctx["vars"])
+        for m in out:
+            assert ctx["vars"].canon(m) == m
+
+
+class TestEnumerateModules:
+    def test_count_and_round_trip(self, ctx):
+        out = enumerate_module_cosets(ctx["F"], ctx["mods"])
+        assert len(out) == 63
+        for j, m in enumerate(out):
+            assert ctx["mods"].index_of(m) == j
+
+
+class TestExplicitEdges:
+    def test_edge_count(self, ctx):
+        edges = build_explicit_edges(
+            ctx["F"], ctx["H0"], ctx["Hn1"], ctx["vars"], ctx["mods"]
+        )
+        # |E| = M * (q+1) = N * q^{n-1}
+        assert len(edges) == 84 * 3 == 63 * 4
+
+    def test_degrees(self, ctx):
+        from collections import Counter
+
+        edges = build_explicit_edges(
+            ctx["F"], ctx["H0"], ctx["Hn1"], ctx["vars"], ctx["mods"]
+        )
+        vdeg = Counter(v for v, _ in edges)
+        udeg = Counter(u for _, u in edges)
+        assert set(vdeg.values()) == {3}
+        assert set(udeg.values()) == {4}

@@ -1,0 +1,130 @@
+"""Tests for the group-theory utilities, and definition-level
+re-validation of the subgroup structure through them."""
+
+import pytest
+
+from repro.gf.gf2m import GF2m
+from repro.gf.subfield import FieldEmbedding
+from repro.pgl.group_utils import (
+    centralizes,
+    conjugate,
+    element_order,
+    generate_subgroup,
+    is_subgroup,
+    left_cosets,
+)
+from repro.pgl.matrix import enumerate_pgl2, pgl2_identity, pgl2_order
+from repro.pgl.subgroups import SubgroupH0, SubgroupHn1
+
+
+@pytest.fixture(scope="module")
+def F8():
+    return GF2m.get(3)
+
+
+class TestElementOrder:
+    def test_identity(self, F8):
+        assert element_order(F8, pgl2_identity()) == 1
+
+    def test_involution(self, F8):
+        # (0,1;1,0) swaps coordinates: order 2
+        assert element_order(F8, (0, 1, 1, 0)) == 2
+
+    def test_orders_divide_group_order(self, F8):
+        order = pgl2_order(8)  # 504
+        for m in list(enumerate_pgl2(F8))[::17]:
+            assert order % element_order(F8, m) == 0
+
+
+class TestGenerateSubgroup:
+    def test_trivial(self, F8):
+        assert generate_subgroup(F8, []) == {pgl2_identity()}
+
+    def test_cyclic(self, F8):
+        m = (0, 1, 1, 0)
+        sub = generate_subgroup(F8, [m])
+        assert sub == {pgl2_identity(), m}
+
+    def test_whole_group_from_two_generators(self, F8):
+        # the affine map x -> gamma*x + 1 and inversion x -> 1/x
+        # generate all of PGL2(8) (q even: PSL2 = PGL2, order 504)
+        a = (2, 1, 0, 1)
+        b = (0, 1, 1, 0)
+        g = generate_subgroup(F8, [a, b], cap=1000)
+        assert len(g) == 504
+
+    def test_subfield_generators_stay_in_h0(self, F8):
+        # generators with GF(2) entries can only reach PGL2(2)
+        g = generate_subgroup(F8, [(1, 1, 0, 1), (0, 1, 1, 0)])
+        assert len(g) == 6
+
+    def test_h0_from_generators(self, F8):
+        emb = FieldEmbedding(GF2m.get(1), F8)
+        H0 = SubgroupH0(emb)
+        gen = generate_subgroup(F8, [(1, 1, 0, 1), (0, 1, 1, 0)])
+        # over GF(2) those two generate all of PGL2(2)
+        assert gen == set(H0.elements())
+
+
+class TestIsSubgroup:
+    def test_h0_is_subgroup(self, F8):
+        emb = FieldEmbedding(GF2m.get(1), F8)
+        assert is_subgroup(F8, set(SubgroupH0(emb).elements()))
+
+    def test_hn1_is_subgroup(self, F8):
+        emb = FieldEmbedding(GF2m.get(1), F8)
+        assert is_subgroup(F8, set(SubgroupHn1(emb).elements()))
+
+    def test_random_subset_is_not(self, F8):
+        some = set(list(enumerate_pgl2(F8))[:5])
+        assert not is_subgroup(F8, some)
+
+    def test_missing_identity(self, F8):
+        assert not is_subgroup(F8, {(0, 1, 1, 0)})
+
+
+class TestLeftCosets:
+    def test_partition_counts(self, F8):
+        emb = FieldEmbedding(GF2m.get(1), F8)
+        H0 = set(SubgroupH0(emb).elements())
+        cosets = left_cosets(F8, H0, enumerate_pgl2(F8))
+        assert len(cosets) == 504 // 6 == 84
+        assert all(len(c) == 6 for c in cosets)
+
+    def test_agrees_with_variable_canonicalization(self, F8):
+        from repro.pgl.cosets import VariableCosets
+
+        emb = FieldEmbedding(GF2m.get(1), F8)
+        H0obj = SubgroupH0(emb)
+        vars_ = VariableCosets(F8, H0obj)
+        cosets = left_cosets(F8, set(H0obj.elements()), enumerate_pgl2(F8))
+        for coset in cosets[:20]:
+            keys = {vars_.key(m) for m in coset}
+            assert len(keys) == 1
+
+    def test_rejects_non_union(self, F8):
+        emb = FieldEmbedding(GF2m.get(1), F8)
+        H0 = set(SubgroupH0(emb).elements())
+        with pytest.raises(ValueError):
+            left_cosets(F8, H0, list(enumerate_pgl2(F8))[:10])
+
+
+class TestConjugation:
+    def test_conjugate_preserves_order(self, F8):
+        g = (3, 1, 1, 0)
+        h = (0, 1, 1, 0)
+        assert element_order(F8, conjugate(F8, g, h)) == element_order(F8, h)
+
+    def test_identity_centralizes_everything(self, F8):
+        some = set(list(enumerate_pgl2(F8))[:20])
+        assert centralizes(F8, pgl2_identity(), some)
+
+    def test_center_is_trivial(self, F8):
+        # PGL2 has trivial center: no non-identity element centralizes all
+        allg = list(enumerate_pgl2(F8))
+        sample = set(allg[::7])
+        bad = [
+            m for m in allg[1:50]
+            if m != pgl2_identity() and centralizes(F8, m, sample)
+        ]
+        assert bad == []

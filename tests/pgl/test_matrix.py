@@ -1,0 +1,177 @@
+"""Tests for PGL2 matrix arithmetic and canonicalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gf.gf2m import GF2m
+from repro.pgl.matrix import (
+    enumerate_pgl2,
+    pgl2_canon,
+    pgl2_det,
+    pgl2_identity,
+    pgl2_inv,
+    pgl2_mul,
+    pgl2_order,
+    vcanon,
+    vmul,
+)
+
+
+@pytest.fixture(scope="module")
+def F8():
+    return GF2m.get(3)
+
+
+def nonsingular(F, seed=0, count=100):
+    rng = np.random.default_rng(seed)
+    out = []
+    while len(out) < count:
+        a, b, c, d = (int(x) for x in rng.integers(0, F.order, 4))
+        if F.add(F.mul(a, d), F.mul(b, c)) != 0:
+            out.append((a, b, c, d))
+    return out
+
+
+class TestCanon:
+    def test_identity(self, F8):
+        assert pgl2_canon(F8, (1, 0, 0, 1)) == pgl2_identity()
+
+    def test_scalar_multiples_collapse(self, F8):
+        m = (3, 5, 1, 1)
+        for s in range(2, 8):
+            scaled = tuple(F8.mul(s, x) for x in m)
+            assert pgl2_canon(F8, scaled) == pgl2_canon(F8, m)
+
+    def test_d_zero_shape(self, F8):
+        m = pgl2_canon(F8, (3, 5, 4, 0))
+        assert m[2] == 1 and m[3] == 0
+
+    def test_d_nonzero_shape(self, F8):
+        m = pgl2_canon(F8, (3, 5, 4, 2))
+        assert m[3] == 1
+
+    def test_singular_raises(self, F8):
+        with pytest.raises(ValueError):
+            pgl2_canon(F8, (1, 1, 1, 1))  # det = 0 in char 2
+        with pytest.raises(ValueError):
+            pgl2_canon(F8, (0, 0, 0, 0))
+
+    def test_idempotent(self, F8):
+        for m in nonsingular(F8, seed=1):
+            c = pgl2_canon(F8, m)
+            assert pgl2_canon(F8, c) == c
+
+
+class TestGroupOps:
+    def test_identity_law(self, F8):
+        e = pgl2_identity()
+        for m in nonsingular(F8, seed=2, count=30):
+            cm = pgl2_canon(F8, m)
+            assert pgl2_mul(F8, e, cm) == cm
+            assert pgl2_mul(F8, cm, e) == cm
+
+    def test_inverse_law(self, F8):
+        for m in nonsingular(F8, seed=3, count=30):
+            assert pgl2_mul(F8, m, pgl2_inv(F8, m)) == pgl2_identity()
+            assert pgl2_mul(F8, pgl2_inv(F8, m), m) == pgl2_identity()
+
+    def test_associativity(self, F8):
+        ms = nonsingular(F8, seed=4, count=15)
+        for i in range(0, 15, 3):
+            a, b, c = ms[i], ms[i + 1], ms[i + 2]
+            assert pgl2_mul(F8, pgl2_mul(F8, a, b), c) == pgl2_mul(
+                F8, a, pgl2_mul(F8, b, c)
+            )
+
+    def test_det_multiplicative_up_to_scalar(self, F8):
+        # canon rescales, so compare dets of raw product vs product of dets
+        a, b = (3, 5, 1, 1), (2, 1, 0, 1)
+        raw = (
+            F8.add(F8.mul(a[0], b[0]), F8.mul(a[1], b[2])),
+            F8.add(F8.mul(a[0], b[1]), F8.mul(a[1], b[3])),
+            F8.add(F8.mul(a[2], b[0]), F8.mul(a[3], b[2])),
+            F8.add(F8.mul(a[2], b[1]), F8.mul(a[3], b[3])),
+        )
+        assert pgl2_det(F8, raw) == F8.mul(pgl2_det(F8, a), pgl2_det(F8, b))
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("m,expected", [(1, 6), (2, 60), (3, 504)])
+    def test_order_formula(self, m, expected):
+        F = GF2m.get(m)
+        mats = list(enumerate_pgl2(F))
+        assert len(mats) == pgl2_order(F.order) == expected
+
+    def test_all_canonical_distinct_nonsingular(self, F8):
+        mats = list(enumerate_pgl2(F8))
+        assert len(set(mats)) == len(mats)
+        for m in mats:
+            assert pgl2_det(F8, m) != 0
+            assert pgl2_canon(F8, m) == m
+
+    def test_closed_under_product(self):
+        F4 = GF2m.get(2)
+        mats = set(enumerate_pgl2(F4))
+        sample = sorted(mats)[::7]
+        for a in sample:
+            for b in sample:
+                assert pgl2_mul(F4, a, b) in mats
+
+
+class TestVectorized:
+    def test_vmul_matches_scalar(self, F8):
+        ms = nonsingular(F8, seed=5, count=64)
+        arr = np.array(ms, dtype=np.int64)
+        a = (arr[:32, 0], arr[:32, 1], arr[:32, 2], arr[:32, 3])
+        b = (arr[32:, 0], arr[32:, 1], arr[32:, 2], arr[32:, 3])
+        prod = vmul(F8, a, b)
+        canon = vcanon(F8, prod)
+        for i in range(32):
+            expect = pgl2_mul(F8, ms[i], ms[32 + i])
+            assert tuple(int(x[i]) for x in canon) == expect
+
+    def test_vcanon_matches_scalar(self, F8):
+        ms = nonsingular(F8, seed=6, count=200)
+        arr = np.array(ms, dtype=np.int64)
+        canon = vcanon(F8, (arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3]))
+        for i, m in enumerate(ms):
+            assert tuple(int(x[i]) for x in canon) == pgl2_canon(F8, m)
+
+    def test_vcanon_singular_raises(self, F8):
+        with pytest.raises(ValueError):
+            vcanon(F8, tuple(np.array([v]) for v in (1, 1, 1, 1)))
+
+    def test_vmul_broadcast_constant(self, F8):
+        ms = nonsingular(F8, seed=7, count=10)
+        arr = np.array(ms, dtype=np.int64)
+        h = (2, 1, 1, 0)
+        prod = vcanon(
+            F8,
+            vmul(
+                F8,
+                (arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3]),
+                tuple(np.int64(x) for x in h),
+            ),
+        )
+        for i, m in enumerate(ms):
+            assert tuple(int(x[i]) for x in prod) == pgl2_mul(F8, m, h)
+
+
+class TestPropertyBased:
+    @settings(max_examples=100)
+    @given(st.tuples(*[st.integers(0, 7)] * 4), st.tuples(*[st.integers(0, 7)] * 4))
+    def test_product_nonsingular(self, m1, m2):
+        F = GF2m.get(3)
+        if pgl2_det(F, m1) == 0 or pgl2_det(F, m2) == 0:
+            return
+        prod = pgl2_mul(F, m1, m2)
+        assert pgl2_det(F, prod) != 0
+
+    @settings(max_examples=100)
+    @given(st.tuples(*[st.integers(0, 7)] * 4))
+    def test_double_inverse(self, m):
+        F = GF2m.get(3)
+        if pgl2_det(F, m) == 0:
+            return
+        assert pgl2_inv(F, pgl2_inv(F, m)) == pgl2_canon(F, m)

@@ -1,0 +1,101 @@
+"""Tests for the subgroups H0 and H_{n-1}."""
+
+import pytest
+
+from repro.gf.gf2m import GF2m
+from repro.gf.subfield import FieldEmbedding
+from repro.pgl.matrix import pgl2_det, pgl2_inv, pgl2_mul
+from repro.pgl.subgroups import SubgroupH0, SubgroupHn1
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    Fq, F = GF2m.get(1), GF2m.get(3)
+    emb = FieldEmbedding(Fq, F)
+    return F, SubgroupH0(emb), SubgroupHn1(emb)
+
+
+@pytest.fixture(scope="module")
+def ctx4():
+    Fq, F = GF2m.get(2), GF2m.get(6)
+    emb = FieldEmbedding(Fq, F)
+    return F, SubgroupH0(emb), SubgroupHn1(emb)
+
+
+class TestH0:
+    def test_order_q2(self, ctx):
+        _, H0, _ = ctx
+        assert H0.order == 6 and len(H0.elements()) == 6
+
+    def test_order_q4(self, ctx4):
+        _, H0, _ = ctx4
+        assert H0.order == 60 and len(H0.elements()) == 60
+
+    def test_contains_identity(self, ctx):
+        _, H0, _ = ctx
+        assert H0.contains((1, 0, 0, 1))
+
+    def test_closed_under_product_and_inverse(self, ctx):
+        F, H0, _ = ctx
+        els = H0.elements()
+        for a in els:
+            assert H0.contains(pgl2_inv(F, a))
+            for b in els:
+                assert H0.contains(pgl2_mul(F, a, b))
+
+    def test_rejects_non_subfield_matrix(self, ctx):
+        _, H0, _ = ctx
+        assert not H0.contains((2, 0, 0, 1))  # entry 2 = gamma not in GF(2)
+
+    def test_elements_nonsingular(self, ctx):
+        F, H0, _ = ctx
+        for m in H0.elements():
+            assert pgl2_det(F, m) != 0
+
+
+class TestHn1:
+    def test_order(self, ctx):
+        _, _, Hn1 = ctx
+        assert Hn1.order == 1 * 8  # (q-1) * q^n
+        assert len(Hn1.elements()) == 8
+
+    def test_order_q4(self, ctx4):
+        _, _, Hn1 = ctx4
+        assert Hn1.order == 3 * 64
+
+    def test_shape(self, ctx):
+        _, _, Hn1 = ctx
+        for a, b, c, d in Hn1.elements():
+            assert c == 0 and d == 1 and a != 0
+
+    def test_contains(self, ctx):
+        _, _, Hn1 = ctx
+        for m in Hn1.elements():
+            assert Hn1.contains(m)
+        assert not Hn1.contains((1, 0, 1, 1))
+        assert not Hn1.contains((2, 0, 0, 1))  # a = gamma not in F_q^*
+
+    def test_closed_under_product_and_inverse(self, ctx4):
+        F, _, Hn1 = ctx4
+        els = Hn1.elements()[::13]
+        for a in els:
+            assert Hn1.contains(pgl2_inv(F, a))
+            for b in els:
+                assert Hn1.contains(pgl2_mul(F, a, b))
+
+
+class TestIntersection:
+    def test_h0_cap_hn1(self, ctx):
+        # Lemma 4: H0 cap H_{n-1} = {(a, b; 0, 1): a in F_q^*, b in F_q}
+        F, H0, Hn1 = ctx
+        inter = [m for m in H0.elements() if Hn1.contains(m)]
+        q = H0.q
+        assert len(inter) == (q - 1) * q
+        for a, b, c, d in inter:
+            assert c == 0 and d == 1
+
+    def test_h0_cap_hn1_q4(self, ctx4):
+        F, H0, Hn1 = ctx4
+        inter = [m for m in H0.elements() if Hn1.contains(m)]
+        q = H0.q
+        assert len(inter) == (q - 1) * q

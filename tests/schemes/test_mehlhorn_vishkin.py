@@ -1,0 +1,112 @@
+"""Tests for the Mehlhorn-Vishkin baseline."""
+
+import numpy as np
+import pytest
+
+from repro.schemes.mehlhorn_vishkin import (
+    MehlhornVishkinScheme,
+    largest_prime_at_most,
+)
+
+
+@pytest.fixture(scope="module")
+def mv():
+    return MehlhornVishkinScheme(1023, 5456, c=3)
+
+
+class TestPrimeHelper:
+    def test_values(self):
+        assert largest_prime_at_most(10) == 7
+        assert largest_prime_at_most(7) == 7
+        assert largest_prime_at_most(341) == 337
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            largest_prime_at_most(1)
+
+
+class TestConstruction:
+    def test_quorums(self, mv):
+        assert mv.read_quorum == 1 and mv.write_quorum == 3
+        assert mv.copies_per_variable == 3
+
+    def test_m_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            MehlhornVishkinScheme(10, 10**6, c=2)
+
+    def test_c_too_small(self):
+        with pytest.raises(ValueError):
+            MehlhornVishkinScheme(100, 1000, c=1)
+
+
+class TestPlacement:
+    def test_distinct_rows(self, mv):
+        pl = mv.placement(mv.random_request_set(500, seed=0))
+        for row in pl:
+            assert len(set(row.tolist())) == 3
+
+    def test_group_partitioning(self, mv):
+        # copy j lives in group j
+        pl = mv.placement(np.arange(300))
+        group = mv.N // mv.c
+        for j in range(3):
+            assert (pl[:, j] // group == j).all()
+
+    def test_coefficients_round_trip(self, mv):
+        idx = mv.random_request_set(300, seed=1)
+        assert (mv.from_coefficients(mv.coefficients(idx)) == idx).all()
+
+    def test_polynomial_agreement_bound(self, mv):
+        # distinct variables collide on <= c-1 copy positions
+        pl = mv.placement(np.arange(150))
+        for i in range(150):
+            for j in range(i):
+                assert int((pl[i] == pl[j]).sum()) <= mv.c - 1
+
+
+class TestAdversaries:
+    def test_write_adversary_shares_module(self, mv):
+        adv = mv.adversarial_write_set(16)
+        pl = mv.placement(adv)
+        assert len(set(pl[:, 0].tolist())) == 1
+
+    def test_write_adversary_serializes_writes(self, mv):
+        adv = mv.adversarial_write_set(16)
+        res = mv.access(adv, op="count", count_as="write")
+        assert res.total_iterations >= 16
+
+    def test_reads_escape_the_write_adversary(self, mv):
+        # the same set is cheap to READ (any 1 copy suffices)
+        adv = mv.adversarial_write_set(16)
+        res = mv.access(adv, op="count", count_as="read")
+        assert res.total_iterations < 16
+
+    def test_interpolation_concentration(self, mv):
+        grid = [np.arange(3)] * 3
+        vars_ = mv.interpolate_variables(grid)
+        assert vars_.size > 0
+        pl = mv.placement(vars_)
+        group = mv.N // mv.c
+        assert set((pl % group).ravel().tolist()) <= set(range(3))
+
+    def test_too_large_adversary_rejected(self, mv):
+        with pytest.raises(ValueError):
+            mv.adversarial_write_set(mv.M)
+
+
+class TestSemantics:
+    def test_read_write(self, mv):
+        idx = mv.random_request_set(200, seed=2)
+        st = mv.make_store()
+        mv.write(idx, values=idx, store=st, time=1)
+        res = mv.read(idx, store=st, time=2)
+        assert (res.values == idx).all()
+
+    def test_overwrite_visible_without_timestamp_logic(self, mv):
+        # MV writes ALL copies, so reads need no timestamps to be right
+        idx = mv.random_request_set(100, seed=3)
+        st = mv.make_store()
+        mv.write(idx, values=np.zeros(100, dtype=np.int64), store=st, time=1)
+        mv.write(idx, values=np.full(100, 9), store=st, time=2)
+        res = mv.read(idx, store=st, time=3)
+        assert (res.values == 9).all()

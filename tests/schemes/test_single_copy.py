@@ -1,0 +1,63 @@
+"""Tests for the single-copy baseline."""
+
+import numpy as np
+import pytest
+
+from repro.schemes.single_copy import SingleCopyScheme
+
+
+class TestPlacement:
+    def test_modular_placement(self):
+        sc = SingleCopyScheme(10, 100, hashed=False)
+        idx = np.array([0, 5, 15, 99])
+        assert sc.placement(idx)[:, 0].tolist() == [0, 5, 5, 9]
+
+    def test_hashed_range(self):
+        sc = SingleCopyScheme(64, 1000, hashed=True, seed=1)
+        mods = sc.placement(np.arange(1000))[:, 0]
+        assert mods.min() >= 0 and mods.max() < 64
+
+    def test_m_smaller_than_n_rejected(self):
+        with pytest.raises(ValueError):
+            SingleCopyScheme(100, 50)
+
+
+class TestAdversary:
+    def test_modular_adversary(self):
+        sc = SingleCopyScheme(10, 200, hashed=False)
+        adv = sc.adversarial_request_set(15, target_module=3)
+        assert np.unique(adv).size == 15
+        assert set(sc.placement(adv)[:, 0].tolist()) == {3}
+
+    def test_hashed_adversary(self):
+        sc = SingleCopyScheme(32, 5000, hashed=True, seed=5)
+        adv = sc.adversarial_request_set(20, target_module=7)
+        assert set(sc.placement(adv)[:, 0].tolist()) == {7}
+
+    def test_adversary_forces_linear_time(self):
+        sc = SingleCopyScheme(32, 5000, hashed=True, seed=5)
+        adv = sc.adversarial_request_set(30)
+        res = sc.access(adv, op="count")
+        assert res.total_iterations >= 30  # fully serialized
+
+    def test_insufficient_variables(self):
+        sc = SingleCopyScheme(10, 20, hashed=False)
+        with pytest.raises(ValueError):
+            sc.adversarial_request_set(5, target_module=0)
+
+
+class TestSemantics:
+    def test_read_write(self):
+        sc = SingleCopyScheme(16, 500, hashed=True)
+        idx = sc.random_request_set(100, seed=0)
+        st = sc.make_store()
+        sc.write(idx, values=idx * 2, store=st, time=1)
+        res = sc.read(idx, store=st, time=2)
+        assert (res.values == idx * 2).all()
+
+    def test_random_load_balanced(self):
+        sc = SingleCopyScheme(64, 10000, hashed=True, seed=2)
+        idx = sc.random_request_set(64, seed=3)
+        res = sc.access(idx, op="count")
+        # random load: far below the serial worst case
+        assert res.total_iterations < 15

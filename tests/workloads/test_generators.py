@@ -1,0 +1,64 @@
+"""Tests for benign workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import (
+    hotspot_blocks,
+    phase_shuffled,
+    random_distinct,
+    strided,
+)
+
+
+class TestRandomDistinct:
+    def test_distinct_and_in_range(self):
+        idx = random_distinct(1000, 300, seed=0)
+        assert np.unique(idx).size == 300
+        assert idx.min() >= 0 and idx.max() < 1000
+
+    def test_seeded(self):
+        assert np.array_equal(random_distinct(500, 100, 7), random_distinct(500, 100, 7))
+
+    def test_full_draw(self):
+        idx = random_distinct(64, 64, seed=1)
+        assert sorted(idx.tolist()) == list(range(64))
+
+    def test_too_many(self):
+        with pytest.raises(ValueError):
+            random_distinct(10, 11)
+
+
+class TestStrided:
+    def test_basic(self):
+        assert strided(100, 5, stride=3, offset=2).tolist() == [2, 5, 8, 11, 14]
+
+    def test_wrap(self):
+        idx = strided(10, 5, stride=3)
+        assert idx.tolist() == [0, 3, 6, 9, 2]
+
+    def test_self_collision_raises(self):
+        with pytest.raises(ValueError):
+            strided(10, 6, stride=5)  # 0,5,0,... duplicates
+
+    def test_too_many(self):
+        with pytest.raises(ValueError):
+            strided(4, 5)
+
+
+class TestHotspot:
+    def test_within_blocks(self):
+        idx = hotspot_blocks(10000, 100, block=64, n_blocks=4, seed=0)
+        assert np.unique(idx).size == 100
+
+    def test_pool_too_small(self):
+        with pytest.raises(ValueError):
+            hotspot_blocks(10000, 100, block=8, n_blocks=2)
+
+
+class TestPhaseShuffle:
+    def test_same_set(self):
+        idx = random_distinct(1000, 50, seed=2)
+        sh = phase_shuffled(idx, seed=3)
+        assert sorted(sh.tolist()) == sorted(idx.tolist())
+        assert not np.array_equal(sh, idx)

@@ -1,0 +1,85 @@
+"""Tests for trace-driven workloads."""
+
+import numpy as np
+import pytest
+
+from repro.schemes.pp_adapter import PPAdapter
+from repro.workloads.traces import (
+    TraceReplay,
+    locality_trace,
+    replay_trace,
+    zipfian_batch,
+)
+
+
+class TestZipfian:
+    def test_range(self, rng):
+        b = zipfian_batch(5456, 2000, 0.9, rng)
+        assert b.min() >= 0 and b.max() < 5456
+
+    def test_uniform_case_spreads(self, rng):
+        b = zipfian_batch(10_000, 5000, 0.0, rng)
+        assert np.unique(b).size > 3500  # few duplicates when uniform
+
+    def test_skew_concentrates(self, rng):
+        uniform = zipfian_batch(10_000, 5000, 0.0, rng)
+        hot = zipfian_batch(10_000, 5000, 1.2, np.random.default_rng(1))
+        assert np.unique(hot).size < np.unique(uniform).size
+
+    def test_monotone_in_skew(self):
+        distinct = []
+        for skew in (0.0, 0.5, 0.9, 1.5):
+            b = zipfian_batch(5456, 4000, skew, np.random.default_rng(7))
+            distinct.append(np.unique(b).size)
+        assert distinct == sorted(distinct, reverse=True)
+
+    def test_bad_skew(self, rng):
+        with pytest.raises(ValueError):
+            zipfian_batch(100, 10, -0.1, rng)
+
+
+class TestLocalityTrace:
+    def test_shape(self, rng):
+        tr = locality_trace(5456, 10, 64, 256, 0.1, rng)
+        assert len(tr) == 10
+        assert all(b.size == 64 for b in tr)
+
+    def test_zero_churn_stays_in_set(self, rng):
+        tr = locality_trace(5456, 5, 100, 128, 0.0, rng)
+        universe = set(np.concatenate(tr).tolist())
+        assert len(universe) <= 128
+
+    def test_full_churn_moves(self, rng):
+        tr = locality_trace(100_000, 8, 32, 64, 1.0, rng)
+        first = set(tr[0].tolist())
+        last = set(tr[-1].tolist())
+        assert len(first & last) <= 4  # working sets disjoint w.h.p.
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            locality_trace(100, 2, 10, 200, 0.1, rng)
+        with pytest.raises(ValueError):
+            locality_trace(100, 2, 10, 50, 1.5, rng)
+
+
+class TestReplay:
+    def test_replay_counts(self, rng):
+        pp = PPAdapter(2, 5)
+        tr = locality_trace(pp.M, 6, 128, 512, 0.2, rng)
+        rep = replay_trace(pp, tr)
+        assert isinstance(rep, TraceReplay)
+        assert rep.batches == 6
+        assert rep.raw_requests == 6 * 128
+        assert rep.distinct_requests <= rep.raw_requests
+        assert 0 < rep.combining_ratio <= 1
+        assert len(rep.per_batch_iterations) == 6
+        assert rep.total_iterations == sum(rep.per_batch_iterations)
+        assert rep.mean_iterations > 0
+
+    def test_skew_reduces_distinct_work(self):
+        pp = PPAdapter(2, 5)
+        rng1, rng2 = np.random.default_rng(3), np.random.default_rng(3)
+        flat = [zipfian_batch(pp.M, 512, 0.0, rng1) for _ in range(4)]
+        hot = [zipfian_batch(pp.M, 512, 1.5, rng2) for _ in range(4)]
+        rf, rh = replay_trace(pp, flat), replay_trace(pp, hot)
+        assert rh.distinct_requests < rf.distinct_requests

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Profile the protocol hot path (the 'measure before optimizing' tool).
+
+Runs a full-load access at (q=2, n=9) under cProfile and prints the top
+cumulative-time entries -- useful when touching the vectorized kernels
+(gf tables, vindex, arbitration) to see where the time actually goes.
+
+Run:  python tools/profile_protocol.py [n] [requests]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 9
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 100_000
+
+    from repro.core.scheme import PPScheme
+
+    scheme = PPScheme(2, n)
+    count = min(count, scheme.N, scheme.M)
+    idx = scheme.random_request_set(count, seed=0)
+
+    prof = cProfile.Profile()
+    prof.enable()
+    res = scheme.access(idx, op="count")
+    prof.disable()
+
+    print(f"N = {scheme.N}, requests = {count}, Phi = {res.max_phase_iterations}")
+    stats = pstats.Stats(prof)
+    stats.sort_stats("cumulative").print_stats(15)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
