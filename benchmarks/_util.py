@@ -2,21 +2,35 @@
 
 Every bench regenerates one experiment of DESIGN.md's index, prints its
 table(s), and persists them under ``benchmarks/results/`` so
-EXPERIMENTS.md can be assembled from the exact program output.
+EXPERIMENTS.md can be assembled from the exact program output.  A bench
+that ran with metrics collection on (:mod:`repro.obs`) may pass the
+registry to :func:`save_tables` to persist the snapshot alongside the
+result tables.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 from repro.analysis.report import Table
+from repro.obs.metrics import MetricsRegistry
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def save_tables(name: str, tables: list[Table], notes: str = "") -> str:
+def save_tables(
+    name: str,
+    tables: list[Table],
+    notes: str = "",
+    metrics: MetricsRegistry | dict | None = None,
+) -> str:
     """Render, print, and persist the experiment's tables; returns the
-    rendered text."""
+    rendered text.
+
+    When ``metrics`` is given (a registry or a snapshot dict), its JSON
+    snapshot is written next to the table as ``{name}.metrics.json``.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     chunks = [t.render() for t in tables]
     if notes:
@@ -25,6 +39,11 @@ def save_tables(name: str, tables: list[Table], notes: str = "") -> str:
     path = os.path.join(RESULTS_DIR, f"{name}.md")
     with open(path, "w") as fh:
         fh.write(text)
+    if metrics is not None:
+        snap = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+        with open(os.path.join(RESULTS_DIR, f"{name}.metrics.json"), "w") as fh:
+            json.dump(snap, fh, indent=2, default=str)
+            fh.write("\n")
     print()
     print(text)
     return text

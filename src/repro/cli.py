@@ -5,15 +5,21 @@ Subcommands
 ``info``      structural parameters of a (q, n) instance;
 ``locate``    physical (module, slot) addresses of variables;
 ``access``    run a protocol batch over a generated workload and report
-              the cost;
+              the cost (``--trace-out FILE`` records a JSONL trace);
 ``sweep``     Phi vs N across n, the Theorem-6 series;
-``expansion`` measure |Gamma(S)| vs the Theorem-4 bound.
+``expansion`` measure |Gamma(S)| vs the Theorem-4 bound;
+``metrics``   run a batch with metrics collection on and print the JSON
+              snapshot of the registry;
+``profile``   cProfile the protocol hot path.
 
 Examples::
 
     python -m repro info -q 2 -n 5
     python -m repro locate -q 2 -n 5 0 17 4242
     python -m repro access -q 2 -n 7 --count 4096 --workload strided --op count
+    python -m repro access -q 2 -n 5 --count 512 --trace-out trace.jsonl
+    python -m repro metrics -q 2 -n 5 --count 512
+    python -m repro profile -n 7 --count 10000 --sort tottime
     python -m repro sweep --max-n 7
     python -m repro expansion -q 2 -n 5 --sizes 16 64 256
 """
@@ -51,18 +57,41 @@ def build_parser() -> argparse.ArgumentParser:
     add_qn(sp)
     sp.add_argument("indices", type=int, nargs="+", help="variable indices")
 
+    def add_batch(sp):
+        add_qn(sp)
+        sp.add_argument("--count", type=int, default=1024,
+                        help="distinct requests")
+        sp.add_argument(
+            "--workload",
+            choices=["uniform", "strided", "hotspot", "neighborhood"],
+            default="uniform",
+        )
+        sp.add_argument("--op", choices=["count", "read", "write"],
+                        default="count")
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--arbitration",
+                        choices=["lowest", "random", "rotating"],
+                        default="lowest")
+
     sp = sub.add_parser("access", help="run one protocol batch")
-    add_qn(sp)
-    sp.add_argument("--count", type=int, default=1024, help="distinct requests")
-    sp.add_argument(
-        "--workload",
-        choices=["uniform", "strided", "hotspot", "neighborhood"],
-        default="uniform",
+    add_batch(sp)
+    sp.add_argument("--trace-out", metavar="FILE", default=None,
+                    help="record a JSONL trace of the run to FILE")
+
+    sp = sub.add_parser(
+        "metrics",
+        help="run one protocol batch with metrics on; print JSON snapshot",
     )
-    sp.add_argument("--op", choices=["count", "read", "write"], default="count")
-    sp.add_argument("--seed", type=int, default=0)
-    sp.add_argument("--arbitration", choices=["lowest", "random", "rotating"],
-                    default="lowest")
+    add_batch(sp)
+
+    sp = sub.add_parser("profile", help="cProfile the protocol hot path")
+    sp.add_argument("-n", type=int, default=9, help="extension degree")
+    sp.add_argument("--count", type=int, default=100_000,
+                    help="max distinct requests")
+    sp.add_argument("--sort", choices=["cumulative", "tottime"],
+                    default="cumulative", help="pstats sort key")
+    sp.add_argument("--limit", type=int, default=15,
+                    help="stats entries to print")
 
     sp = sub.add_parser("sweep", help="Phi vs N (Theorem 6 series)")
     sp.add_argument("--max-n", type=int, default=7, help="largest n (odd, >= 3)")
@@ -126,7 +155,10 @@ def _make_workload(s: PPScheme, args) -> np.ndarray:
     return pp_module_neighborhood_set(s, args.count)
 
 
-def _cmd_access(args) -> int:
+def _run_batch(args):
+    """Build the scheme, generate the workload, and run one batch
+    (shared by ``access`` and ``metrics``); returns (scheme, idx, result)
+    or an int error code."""
     s = PPScheme(args.q, args.n, arbitration=args.arbitration)
     if args.count > min(s.M, s.N):
         print(
@@ -142,7 +174,27 @@ def _cmd_access(args) -> int:
         kwargs = {"store": store, "time": 2}
         if args.op == "write":
             kwargs["values"] = idx
-    res = s.access(idx, op=args.op, **kwargs)
+    return s, idx, s.access(idx, op=args.op, **kwargs)
+
+
+def _cmd_access(args) -> int:
+    from repro import obs
+
+    tracer = None
+    if args.trace_out:
+        tracer = obs.RecordingTracer()
+        prev = obs.set_tracer(tracer)
+    try:
+        got = _run_batch(args)
+    finally:
+        if tracer is not None:
+            obs.set_tracer(prev)
+    if isinstance(got, int):
+        return got
+    s, idx, res = got
+    if tracer is not None:
+        n_events = tracer.write_jsonl(args.trace_out)
+        print(f"trace: {n_events} events -> {args.trace_out}", file=sys.stderr)
     t = Table(["metric", "value"], title=f"{args.op} of {len(idx)} variables")
     t.add_row(["phases", len(res.phases)])
     t.add_row(["iterations/phase", str(res.iterations_per_phase)])
@@ -153,6 +205,34 @@ def _cmd_access(args) -> int:
     t.add_row(["copies touched", res.mpc_stats.served])
     t.add_row(["max module congestion", res.mpc_stats.max_congestion])
     t.print()
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Run one batch with metrics collection on; print the JSON snapshot
+    (only JSON goes to stdout, so the output is pipeable)."""
+    from repro import obs
+
+    was_on = obs.metrics_enabled()
+    obs.enable_metrics()
+    obs.metrics().reset()
+    try:
+        got = _run_batch(args)
+    finally:
+        if not was_on:
+            obs.disable_metrics()
+    if isinstance(got, int):
+        return got
+    print(obs.metrics().to_json())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profiling import profile_access
+
+    profile_access(
+        n=args.n, count=args.count, sort=args.sort, limit=args.limit
+    )
     return 0
 
 
@@ -204,6 +284,8 @@ _COMMANDS = {
     "info": _cmd_info,
     "locate": _cmd_locate,
     "access": _cmd_access,
+    "metrics": _cmd_metrics,
+    "profile": _cmd_profile,
     "sweep": _cmd_sweep,
     "expansion": _cmd_expansion,
     "verify": _cmd_verify,
@@ -215,7 +297,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (ValueError,) as exc:
+    except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as _obs
 from repro.gf.gf2m import GF2m
 from repro.gf.subfield import BasisDecomposition, FieldEmbedding
 from repro.core.graph import MemoryGraph
@@ -230,6 +231,8 @@ class AddressLayer:
         if not 0 <= index < self.M:
             raise ValueError(f"variable index {index} out of [0, {self.M})")
         self.ops.calls += 1
+        if _obs.metrics_enabled():
+            _obs.metrics().counter("address.unranks").inc()
         L = self.L
         if index < self.c1:
             i = index
@@ -368,6 +371,18 @@ class AddressLayer:
         binary search; this is what makes protocol experiments at
         N = 262k feasible.
         """
+        if _obs.enabled():
+            with _obs.span(
+                "address.vunrank",
+                timer="address.vunrank_seconds",
+                count=int(np.asarray(indices).size),
+            ):
+                return self._vunrank(indices)
+        return self._vunrank(indices)
+
+    def _vunrank(
+        self, indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         idx = np.asarray(indices, dtype=np.int64)
         if np.any((idx < 0) | (idx >= self.M)):
             raise ValueError("variable index out of range in vunrank")

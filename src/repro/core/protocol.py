@@ -18,15 +18,21 @@ It can run in three modes:
   :class:`~repro.mpc.memory.SharedCopyStore`;
 * ``op='read'``   -- winning copies are read and each variable returns
   the value with the freshest timestamp among its accessed majority.
+
+When observability is on (:mod:`repro.obs`), every batch emits a
+``protocol.access`` span and per-phase ``protocol.phase`` spans carrying
+the live-history trajectory ``R_k``; when off, the run pays one guard.
 """
 
 from __future__ import annotations
 
 import math
+import time as _time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as _obs
 from repro.mpc.machine import MPC
 from repro.mpc.memory import SharedCopyStore
 from repro.mpc.stats import MPCStats
@@ -209,26 +215,49 @@ def run_access_protocol(
     if phase_count < 1:
         raise ValueError("n_phases must be >= 1")
     phases: list[PhaseTrace] = []
-    for k in range(phase_count):
-        phase_vars = np.arange(V, dtype=np.int64)[
-            np.arange(V) % phase_count == k
-        ]
-        trace = _run_phase(
-            phase_vars,
-            module_ids,
-            slots,
-            mpc,
-            majority,
-            op,
-            store,
-            values,
-            out_values,
-            time,
-            collect_history,
-            max_iterations,
-            dead_copy,
+    obs_on = _obs.enabled()
+    t_start = _time.perf_counter() if obs_on else 0.0
+    with _obs.span(
+        "protocol.access", op=op, requests=V, q=q, phases=phase_count
+    ) as acc_span:
+        for k in range(phase_count):
+            phase_vars = np.arange(V, dtype=np.int64)[
+                np.arange(V) % phase_count == k
+            ]
+            with _obs.span(
+                "protocol.phase", phase=k, variables=int(phase_vars.size)
+            ) as ph_span:
+                trace = _run_phase(
+                    phase_vars,
+                    module_ids,
+                    slots,
+                    mpc,
+                    majority,
+                    op,
+                    store,
+                    values,
+                    out_values,
+                    time,
+                    collect_history,
+                    max_iterations,
+                    dead_copy,
+                )
+                ph_span.add(
+                    iterations=trace.iterations,
+                    live_history=list(trace.live_history),
+                )
+            phases.append(trace)
+        acc_span.add(total_iterations=sum(p.iterations for p in phases))
+    if obs_on and _obs.metrics_enabled():
+        m = _obs.metrics()
+        m.counter("protocol.accesses", op=op).inc()
+        m.counter("protocol.iterations").inc(sum(p.iterations for p in phases))
+        hist = m.histogram("protocol.phase_iterations")
+        for p in phases:
+            hist.observe(p.iterations)
+        m.timer("protocol.access_seconds", op=op).observe(
+            _time.perf_counter() - t_start
         )
-        phases.append(trace)
 
     return AccessResult(
         op=op,

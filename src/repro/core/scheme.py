@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.obs as _obs
 from repro.core.addressing import AddressLayer
 from repro.core.graph import MemoryGraph
 from repro.core.protocol import AccessResult, run_access_protocol
@@ -110,24 +111,30 @@ class PPScheme:
     """
 
     def __init__(self, q: int = 2, n: int = 5, arbitration: str = "lowest", seed: int = 0):
-        self.graph = MemoryGraph(q, n)
-        self.q = q
-        self.n = n
-        self.N = self.graph.N
-        self.M = self.graph.M
-        self.copies_per_variable = self.graph.copies_per_variable
-        self.majority = self.graph.majority
-        self.module_capacity = self.graph.module_degree
-        self.arbitration = arbitration
-        self.seed = seed
-        if q == 2 and n % 2 == 1:
-            self.addressing: AddressLayer | EnumeratedAddressing = AddressLayer(
-                self.graph
-            )
-            self.addressing_kind = "explicit-O(logN)"
-        else:
-            self.addressing = EnumeratedAddressing(self.graph)
-            self.addressing_kind = "enumerated-fallback"
+        with _obs.span(
+            "scheme.build", timer="scheme.build_seconds", q=q, n=n
+        ) as sp:
+            self.graph = MemoryGraph(q, n)
+            self.q = q
+            self.n = n
+            self.N = self.graph.N
+            self.M = self.graph.M
+            self.copies_per_variable = self.graph.copies_per_variable
+            self.majority = self.graph.majority
+            self.module_capacity = self.graph.module_degree
+            self.arbitration = arbitration
+            self.seed = seed
+            if q == 2 and n % 2 == 1:
+                self.addressing: AddressLayer | EnumeratedAddressing = AddressLayer(
+                    self.graph
+                )
+                self.addressing_kind = "explicit-O(logN)"
+            else:
+                self.addressing = EnumeratedAddressing(self.graph)
+                self.addressing_kind = "enumerated-fallback"
+            sp.add(N=self.N, M=self.M, addressing=self.addressing_kind)
+        if _obs.metrics_enabled():
+            _obs.metrics().counter("scheme.builds").inc()
 
     # -- placement -------------------------------------------------------
 
@@ -138,8 +145,13 @@ class PPScheme:
     def module_ids_for(self, indices: np.ndarray) -> np.ndarray:
         """``(V, q+1)`` module ids of the copies of each requested
         variable (vectorized unrank + Lemma 1 kernel)."""
-        mats = self.addressing.vunrank(np.asarray(indices, dtype=np.int64))
-        return self.graph.vgamma_variables(mats)
+        indices = np.asarray(indices, dtype=np.int64)
+        if not _obs.enabled():
+            mats = self.addressing.vunrank(indices)
+            return self.graph.vgamma_variables(mats)
+        with self._observe_placement(indices.size, slots=False):
+            mats = self.addressing.vunrank(indices)
+            return self.graph.vgamma_variables(mats)
 
     def placement_for(
         self, indices: np.ndarray
@@ -147,10 +159,25 @@ class PPScheme:
         """``(modules, slots)`` -- both ``(V, q+1)`` -- for the requested
         variables, fully vectorized (Lemma 1 + Lemma 4)."""
         indices = np.asarray(indices, dtype=np.int64)
-        mats = self.addressing.vunrank(indices)
-        modules = self.graph.vgamma_variables(mats)
-        slots = self._vslots(mats, modules)
-        return modules, slots
+        if not _obs.enabled():
+            mats = self.addressing.vunrank(indices)
+            modules = self.graph.vgamma_variables(mats)
+            return modules, self._vslots(mats, modules)
+        with self._observe_placement(indices.size, slots=True):
+            mats = self.addressing.vunrank(indices)
+            modules = self.graph.vgamma_variables(mats)
+            return modules, self._vslots(mats, modules)
+
+    def _observe_placement(self, count: int, slots: bool):
+        """Span + metrics wrapper for the address-computation paths."""
+        if _obs.metrics_enabled():
+            _obs.metrics().counter("address.placement_calls").inc()
+        return _obs.span(
+            "address.placement",
+            timer="address.placement_seconds",
+            count=int(count),
+            slots=slots,
+        )
 
     def _vslots(
         self,

@@ -18,6 +18,7 @@ import hashlib
 
 import numpy as np
 
+import repro.obs as _obs
 from repro.schemes.base import MemoryScheme
 
 __all__ = ["ParallelKVStore", "TOMBSTONE"]
@@ -119,29 +120,47 @@ class ParallelKVStore:
         claim = np.full(B, -1, dtype=np.int64)
         offset = np.zeros(B, dtype=np.int64)
         home = self._home(fps)
-        for _ in range(self.capacity + 1):
-            if not pending.any():
-                break
-            idx = np.nonzero(pending)[0]
-            cur = (home[idx] + offset[idx]) % self.capacity
-            got = self._read_vars(2 * cur)
-            is_empty = got == _EMPTY
-            is_tomb = got == TOMBSTONE
-            is_mine = got == fps[idx]
-            # record the first recyclable slot on the chain
-            rec = is_tomb & (claim[idx] < 0)
-            claim[idx[rec]] = cur[rec]
-            # chain ends: empty slot
-            done_empty = is_empty
-            claim_at_end = idx[done_empty & (claim[idx] < 0)]
-            claim[claim_at_end] = cur[done_empty & (claim[idx] < 0)]
-            found[idx[is_mine]] = True
-            slot[idx[is_mine]] = cur[is_mine]
-            pending[idx[is_mine | done_empty]] = False
-            offset[idx] += 1
-        else:
-            raise RuntimeError("table full: probe chain exhausted capacity")
+        obs_on = _obs.enabled()
+        rounds = 0
+        with _obs.span("kvstore.probe", batch=int(B)) as sp:
+            for _ in range(self.capacity + 1):
+                if not pending.any():
+                    break
+                idx = np.nonzero(pending)[0]
+                if obs_on:
+                    _obs.tracer().event(
+                        "kvstore.probe_round", round=rounds,
+                        pending=int(idx.size),
+                    )
+                    if _obs.metrics_enabled():
+                        _obs.metrics().counter("kvstore.probe_rounds").inc()
+                rounds += 1
+                cur = (home[idx] + offset[idx]) % self.capacity
+                got = self._read_vars(2 * cur)
+                is_empty = got == _EMPTY
+                is_tomb = got == TOMBSTONE
+                is_mine = got == fps[idx]
+                # record the first recyclable slot on the chain
+                rec = is_tomb & (claim[idx] < 0)
+                claim[idx[rec]] = cur[rec]
+                # chain ends: empty slot
+                done_empty = is_empty
+                claim_at_end = idx[done_empty & (claim[idx] < 0)]
+                claim[claim_at_end] = cur[done_empty & (claim[idx] < 0)]
+                found[idx[is_mine]] = True
+                slot[idx[is_mine]] = cur[is_mine]
+                pending[idx[is_mine | done_empty]] = False
+                offset[idx] += 1
+            else:
+                raise RuntimeError("table full: probe chain exhausted capacity")
+            sp.add(rounds=rounds)
         return found, slot, claim
+
+    def _observe_op(self, op: str, n_keys: int) -> None:
+        """Entry hook for the public batch operations."""
+        _obs.tracer().event("kvstore.op", op=op, keys=n_keys)
+        if _obs.metrics_enabled():
+            _obs.metrics().counter("kvstore.ops", op=op).inc()
 
     # -- public API ------------------------------------------------------------------
 
@@ -150,6 +169,8 @@ class ParallelKVStore:
 
         Returns a stats dict (inserted, updated, protocol rounds used).
         """
+        if _obs.enabled():
+            self._observe_op("put", len(keys))
         values = np.asarray(values, dtype=np.int64)
         if len(keys) != values.shape[0]:
             raise ValueError("keys and values must have equal length")
@@ -201,6 +222,8 @@ class ParallelKVStore:
 
     def batch_get(self, keys) -> np.ndarray:
         """Parallel lookup; returns values, -1 for missing keys."""
+        if _obs.enabled():
+            self._observe_op("get", len(keys))
         fps = self._fingerprint(keys)
         if np.unique(fps).size != fps.size:
             raise ValueError("batch contains duplicate keys")
@@ -213,6 +236,8 @@ class ParallelKVStore:
 
     def batch_delete(self, keys) -> int:
         """Parallel delete; returns the number of keys removed."""
+        if _obs.enabled():
+            self._observe_op("delete", len(keys))
         fps = self._fingerprint(keys)
         if np.unique(fps).size != fps.size:
             raise ValueError("batch contains duplicate keys")

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.obs as _obs
 from repro.mpc.arbitration import Arbiter, make_arbiter
 from repro.mpc.stats import MPCStats
 
@@ -70,6 +71,8 @@ class MPC:
         if module_ids.size == 0:
             # An idle step still advances time.
             self.stats.record_step(0, 0, 0)
+            if _obs.enabled():
+                _obs.on_mpc_step(0, 0, 0)
             return np.empty(0, dtype=np.int64)
         if np.any((module_ids < 0) | (module_ids >= self.n_modules)):
             raise ValueError("request addresses a nonexistent module")
@@ -82,6 +85,8 @@ class MPC:
         if np.unique(served_mods).size != served_mods.size:
             raise AssertionError("arbiter served a module twice in one step")
         self.stats.record_step(module_ids.size, winners.size, congestion)
+        if _obs.enabled():
+            _obs.on_mpc_step(int(module_ids.size), int(winners.size), congestion)
         return winners
 
     def reset(self) -> None:

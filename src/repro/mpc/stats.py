@@ -46,10 +46,15 @@ class MPCStats:
             self.served_per_step.append(int(n_served))
 
     def merge(self, other: "MPCStats") -> None:
-        """Accumulate another stats object into this one."""
+        """Accumulate another stats object into this one.
+
+        History survives whenever *either* side kept one: the merged
+        object extends with ``other.served_per_step`` unconditionally
+        (empty when the other side kept none) and ORs ``keep_history``.
+        """
         self.steps += other.steps
         self.requests += other.requests
         self.served += other.served
         self.max_congestion = max(self.max_congestion, other.max_congestion)
-        if self.keep_history:
-            self.served_per_step.extend(other.served_per_step)
+        self.served_per_step.extend(other.served_per_step)
+        self.keep_history = self.keep_history or other.keep_history

@@ -1,0 +1,55 @@
+"""cProfile harness for the protocol hot path.
+
+The 'measure before optimizing' entry point, importable so both the
+``repro profile`` CLI subcommand and ``tools/profile_protocol.py`` share
+one implementation.  Profiles a full-load count access (scheme build and
+request generation excluded) and prints the top entries.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+
+__all__ = ["SORT_KEYS", "profile_access"]
+
+#: pstats sort keys the CLI accepts.
+SORT_KEYS = ("cumulative", "tottime")
+
+
+def profile_access(
+    n: int = 9,
+    count: int = 100_000,
+    sort: str = "cumulative",
+    limit: int = 15,
+    stream=None,
+) -> pstats.Stats:
+    """Profile one ``(q=2, n)`` count access of up to ``count`` requests.
+
+    Prints ``limit`` entries sorted by ``sort`` ('cumulative' or
+    'tottime') to ``stream`` (default stdout) and returns the
+    :class:`pstats.Stats` for further inspection.
+    """
+    if sort not in SORT_KEYS:
+        raise ValueError(f"sort must be one of {SORT_KEYS}, got {sort!r}")
+    from repro.core.scheme import PPScheme
+
+    stream = stream or sys.stdout
+    scheme = PPScheme(2, n)
+    count = min(count, scheme.N, scheme.M)
+    idx = scheme.random_request_set(count, seed=0)
+
+    prof = cProfile.Profile()
+    prof.enable()
+    res = scheme.access(idx, op="count")
+    prof.disable()
+
+    print(
+        f"N = {scheme.N}, requests = {count}, "
+        f"Phi = {res.max_phase_iterations}",
+        file=stream,
+    )
+    stats = pstats.Stats(prof, stream=stream)
+    stats.sort_stats(sort).print_stats(limit)
+    return stats

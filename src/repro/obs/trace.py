@@ -1,0 +1,210 @@
+"""Span-based tracing with a zero-overhead no-op default.
+
+Two backends share one interface:
+
+* :class:`NullTracer` -- the default.  Its :meth:`~NullTracer.span`
+  returns a shared no-op context manager and :meth:`~NullTracer.event`
+  does nothing, so instrumentation left in hot paths costs one branch.
+* :class:`RecordingTracer` -- accumulates structured events in memory
+  and serializes them as JSON Lines (one event object per line).
+
+Every record carries ``type`` (``"span"`` or ``"event"``), ``name``,
+``seq`` (monotonic per tracer), and ``ts`` (seconds since the tracer was
+created); span records add ``dur`` (seconds) plus any fields attached at
+open time or via :meth:`Span.add`.  Records are emitted when a span
+*closes*, so a nested span appears before its parent -- consumers that
+need the tree re-nest by ``ts``/``dur`` (see ``tools/trace_report.py``).
+
+Usage::
+
+    from repro import obs
+
+    tracer = obs.RecordingTracer()
+    obs.set_tracer(tracer)
+    ...  # instrumented code runs
+    obs.set_tracer(None)
+    tracer.write_jsonl("trace.jsonl")
+
+or wrap a function with the :func:`traced` decorator, which is free when
+no recording tracer is installed.
+"""
+
+from __future__ import annotations
+
+import functools
+import io
+import json
+import time
+
+__all__ = [
+    "Span",
+    "NullTracer",
+    "RecordingTracer",
+    "traced",
+    "read_jsonl",
+]
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def add(self, **fields) -> None:
+        """No-op."""
+
+
+#: The singleton no-op span every :class:`NullTracer` hands out.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    ``enabled`` is a class attribute so the hot-path guard
+    ``tracer.enabled`` is a plain attribute load.
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    def span(self, name: str, **fields) -> _NullSpan:
+        """Return the shared no-op span."""
+        return NULL_SPAN
+
+    def event(self, name: str, **fields) -> None:
+        """Drop the event."""
+
+
+class Span:
+    """An open span of a :class:`RecordingTracer`; use as a context
+    manager.  Fields attached via :meth:`add` while open are included in
+    the record emitted at close."""
+
+    __slots__ = ("_tracer", "name", "fields", "_t0")
+
+    def __init__(self, tracer: "RecordingTracer", name: str, fields: dict):
+        self._tracer = tracer
+        self.name = name
+        self.fields = fields
+        self._t0 = tracer._now()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self._tracer._emit(
+            "span", self.name, self._t0, dur=self._tracer._now() - self._t0,
+            **self.fields,
+        )
+        return False
+
+    def add(self, **fields) -> None:
+        """Attach extra fields to the record this span will emit."""
+        self.fields.update(fields)
+
+
+class RecordingTracer:
+    """Tracer that records structured events for later export.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source (seconds); injectable for tests.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self._seq = 0
+        self.events: list[dict] = []
+
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def _emit(self, rtype: str, name: str, ts: float, **fields) -> None:
+        self._seq += 1
+        rec = {"type": rtype, "name": name, "seq": self._seq, "ts": ts}
+        rec.update(fields)
+        self.events.append(rec)
+
+    def span(self, name: str, **fields) -> Span:
+        """Open a span; the record is emitted when the span closes."""
+        return Span(self, name, fields)
+
+    def event(self, name: str, **fields) -> None:
+        """Record one instantaneous event."""
+        self._emit("event", name, self._now(), **fields)
+
+    # -- export --------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """All events as JSON Lines (chronological emit order)."""
+        buf = io.StringIO()
+        for rec in self.events:
+            buf.write(json.dumps(rec, default=_jsonable))
+            buf.write("\n")
+        return buf.getvalue()
+
+    def write_jsonl(self, path: str) -> int:
+        """Write :meth:`to_jsonl` to ``path``; returns the event count."""
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+        return len(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"RecordingTracer({len(self.events)} events)"
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Parse a JSONL trace file back into event dicts (blank-line safe)."""
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def traced(name: str | None = None):
+    """Decorator: run the function inside a span named ``name`` (default
+    the function's qualified name).  When no recording tracer is
+    installed the wrapper adds one branch and calls straight through."""
+
+    def deco(fn):
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            from repro import obs
+
+            tracer = obs.tracer()
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer.span(span_name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return deco
+
+
+def _jsonable(x):
+    """Fallback encoder: numpy scalars/arrays and other sequence-likes."""
+    if hasattr(x, "item") and not hasattr(x, "__len__"):
+        return x.item()
+    if hasattr(x, "tolist"):
+        return x.tolist()
+    raise TypeError(f"not JSON serializable: {type(x).__name__}")

@@ -191,3 +191,61 @@ class TestAccessResultAPI:
         res = run_access_protocol(mods, 5, 2)
         assert res.total_iterations == sum(res.iterations_per_phase)
         assert isinstance(res, AccessResult)
+
+
+class TestDerivedProperties:
+    """PhaseTrace/AccessResult arithmetic, pinned on synthetic traces."""
+
+    def make_result(self, phases, q=2):
+        from repro.mpc.stats import MPCStats
+
+        return AccessResult(
+            op="count", n_requests=0, q=q, phases=phases, values=None,
+            mpc_stats=MPCStats(),
+        )
+
+    def test_phase_trace_invariant(self):
+        from repro.core.protocol import PhaseTrace
+
+        t = PhaseTrace(iterations=3, live_history=[9, 4, 1, 0])
+        assert t.iterations == len(t.live_history) - 1
+
+    def test_iterations_per_phase_order(self):
+        from repro.core.protocol import PhaseTrace
+
+        res = self.make_result(
+            [PhaseTrace(2, [5, 1, 0]), PhaseTrace(4, [7, 5, 3, 1, 0]),
+             PhaseTrace(1, [2, 0])]
+        )
+        assert res.iterations_per_phase == [2, 4, 1]
+        assert res.max_phase_iterations == 4
+        assert res.total_iterations == 7
+
+    def test_empty_phases_defaults(self):
+        res = self.make_result([])
+        assert res.iterations_per_phase == []
+        assert res.max_phase_iterations == 0  # max() default, no raise
+        assert res.total_iterations == 0
+        assert res.modeled_steps(N=8) == 0
+
+    def test_modeled_steps_formula(self):
+        from repro.core.protocol import PhaseTrace
+
+        # q=2: coord = ceil(log2(3)) + 1 = 3; N=16: addr = 4
+        res = self.make_result(
+            [PhaseTrace(2, [3, 1, 0]), PhaseTrace(1, [1, 0])], q=2
+        )
+        assert res.modeled_steps(N=16) == (2 * 3 + 4) + (1 * 3 + 4)
+        # explicit addressing_steps overrides the log2(N) default
+        assert res.modeled_steps(N=16, addressing_steps=0) == 6 + 3
+        assert res.modeled_steps(N=16, addressing_steps=10) == 16 + 13
+
+    def test_modeled_steps_matches_live_run(self):
+        mods = manual_modules([[0, 1, 2]] * 4)
+        res = run_access_protocol(mods, 5, 2)
+        import math
+
+        coord = math.ceil(math.log2(res.q + 1)) + 1
+        addr = math.ceil(math.log2(5))
+        expect = sum(p.iterations * coord + addr for p in res.phases)
+        assert res.modeled_steps(N=5) == expect

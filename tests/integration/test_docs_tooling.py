@@ -25,10 +25,22 @@ class TestApiDocGenerator:
             "repro.pram.machine",
             "repro.network.routing",
             "repro.kvstore.store",
+            "repro.obs",
+            "repro.obs.metrics",
+            "repro.obs.trace",
         ):
             assert f"## `{pkg}`" in text, pkg
         assert "class `PPScheme" in text
         assert "*(undocumented)*" not in text  # everything public has docs
+
+    def test_observability_reference_emitted_in_full(self):
+        # repro.obs sets __apidoc__ = "full": its whole docstring (the
+        # metric-name and trace-schema tables) must land in API.md.
+        text = open(os.path.join(ROOT, "docs", "API.md")).read()
+        assert "### Metric names" in text
+        assert "### Trace event schema" in text
+        assert "protocol.phase_iterations" in text
+        assert "kvstore.probe_round" in text
 
 
 class TestDocsPresent:

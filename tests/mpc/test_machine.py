@@ -57,6 +57,24 @@ class TestStep:
         mpc.reset()
         assert mpc.stats.steps == 0
 
+    def test_reset_preserves_arbiter_object(self):
+        from repro.mpc.arbitration import RotatingArbiter
+
+        arb = RotatingArbiter()
+        mpc = MPC(5, arbitration=arb)
+        mpc.step(np.array([0, 0]))
+        mpc.reset()
+        assert mpc.arbiter is arb  # same policy object, with its state
+
+    def test_reset_preserves_keep_history(self):
+        mpc = MPC(5, history=True)
+        mpc.step(np.array([0, 1]))
+        mpc.reset()
+        assert mpc.stats.keep_history is True
+        assert mpc.stats.served_per_step == []
+        mpc.step(np.array([2]))
+        assert mpc.stats.served_per_step == [1]
+
 
 class TestPolicies:
     def test_random_policy_valid(self):

@@ -29,3 +29,34 @@ class TestMPCStats:
         assert a.steps == 2 and a.requests == 8 and a.served == 6
         assert a.max_congestion == 3
         assert a.served_per_step == [2, 4]
+
+    def test_merge_history_survives_when_only_other_kept_it(self):
+        # Regression: merge used to drop other's history (and stop
+        # recording it) whenever self.keep_history was False.
+        a = MPCStats()
+        a.record_step(3, 2, 2)
+        b = MPCStats(keep_history=True)
+        b.record_step(5, 4, 3)
+        b.record_step(1, 1, 1)
+        a.merge(b)
+        assert a.served_per_step == [4, 1]
+        assert a.keep_history is True
+        a.record_step(2, 2, 1)  # and keeps recording from here on
+        assert a.served_per_step == [4, 1, 2]
+
+    def test_merge_history_survives_when_only_self_kept_it(self):
+        a = MPCStats(keep_history=True)
+        a.record_step(3, 2, 2)
+        b = MPCStats()
+        b.record_step(5, 4, 3)
+        a.merge(b)
+        assert a.served_per_step == [2]
+        assert a.keep_history is True
+        assert a.steps == 2 and a.served == 6
+
+    def test_merge_no_history_on_either_side(self):
+        a, b = MPCStats(), MPCStats()
+        a.record_step(1, 1, 1)
+        b.record_step(2, 2, 2)
+        a.merge(b)
+        assert a.served_per_step == [] and a.keep_history is False

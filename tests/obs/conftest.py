@@ -1,0 +1,17 @@
+"""Observability tests share one process-global switchboard; make every
+test start and end with it fully off and empty."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable_metrics()
+    obs.set_tracer(None)
+    obs.metrics().reset()
+    yield
+    obs.disable_metrics()
+    obs.set_tracer(None)
+    obs.metrics().reset()

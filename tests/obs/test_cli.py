@@ -1,0 +1,157 @@
+"""Tests for the observability CLI surfacing (``metrics``, ``profile``,
+``access --trace-out``) and the summarizer/profiler tools."""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.trace import read_jsonl
+
+ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+
+class TestAccessTraceOut:
+    def test_writes_parseable_trace(self, capsys, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert main(
+            ["access", "-q", "2", "-n", "3", "--count", "32",
+             "--trace-out", path]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Phi (max)" in captured.out
+        assert "trace:" in captured.err and path in captured.err
+        events = read_jsonl(path)
+        names = {e["name"] for e in events}
+        assert {"protocol.access", "protocol.phase", "mpc.step"} <= names
+
+    def test_trace_matches_reported_iterations(self, capsys, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert main(
+            ["access", "-q", "2", "-n", "5", "--count", "200",
+             "--trace-out", path]
+        ) == 0
+        out = capsys.readouterr().out
+        events = read_jsonl(path)
+        phases = sorted(
+            (e for e in events if e["name"] == "protocol.phase"),
+            key=lambda e: e["phase"],
+        )
+        reported = [e["iterations"] for e in phases]
+        assert f"| iterations/phase | {reported} |" in out
+
+    def test_tracer_uninstalled_after_run(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        main(["access", "-q", "2", "-n", "3", "--count", "16",
+              "--trace-out", path])
+        assert not obs.enabled()
+
+    def test_no_trace_without_flag(self, capsys):
+        assert main(["access", "-q", "2", "-n", "3", "--count", "16"]) == 0
+        assert "trace:" not in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def test_prints_valid_json(self, capsys):
+        assert main(["metrics", "-q", "2", "-n", "3", "--count", "32"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        for key in ("scheme.builds", "protocol.iterations", "mpc.steps",
+                    "protocol.accesses{op=count}",
+                    "protocol.phase_iterations"):
+            assert key in snap, key
+        assert snap["scheme.builds"]["value"] == 1
+        assert snap["mpc.steps"]["value"] >= 1
+
+    def test_restores_disabled_state(self):
+        main(["metrics", "-q", "2", "-n", "3", "--count", "16"])
+        assert not obs.metrics_enabled() and not obs.enabled()
+
+    def test_count_too_large(self, capsys):
+        assert main(["metrics", "-q", "2", "-n", "3", "--count", "999"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_runs(self, capsys):
+        assert main(["profile", "-n", "3", "--count", "40", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Phi =" in out and "cumulative" in out
+
+    def test_sort_tottime(self, capsys):
+        assert main(
+            ["profile", "-n", "3", "--count", "40", "--sort", "tottime",
+             "--limit", "5"]
+        ) == 0
+        assert "internal time" in capsys.readouterr().out
+
+    def test_bad_sort_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--sort", "nonsense"])
+
+
+class TestTraceReportTool:
+    def run_tool(self, *argv):
+        return subprocess.run(
+            [sys.executable, os.path.join(ROOT, "tools", "trace_report.py"),
+             *argv],
+            capture_output=True, text=True, timeout=120,
+        )
+
+    def test_renders_phase_table(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert main(["access", "-q", "2", "-n", "3", "--count", "32",
+                     "--trace-out", path]) == 0
+        proc = self.run_tool(path)
+        assert proc.returncode == 0, proc.stderr
+        assert "access #0" in proc.stdout
+        assert "| phase | variables | iterations |" in proc.stdout
+        assert "machine summary" in proc.stdout
+
+    def test_missing_file_exits_2(self, tmp_path):
+        proc = self.run_tool(str(tmp_path / "nope.jsonl"))
+        assert proc.returncode == 2
+        assert "error" in proc.stderr
+
+    def test_traceless_file_exits_2(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text('{"type": "event", "name": "x", "seq": 1, "ts": 0}\n')
+        proc = self.run_tool(str(path))
+        assert proc.returncode == 2
+        assert "no protocol.access" in proc.stderr
+
+
+class TestProfileTool:
+    def test_runs_and_sorts(self):
+        proc = subprocess.run(
+            [sys.executable,
+             os.path.join(ROOT, "tools", "profile_protocol.py"),
+             "3", "40", "--sort", "tottime", "--limit", "5"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "internal time" in proc.stdout
+
+    def test_import_failure_exits_nonzero(self, tmp_path):
+        # Run a copy of the tool from outside the repo with a poisoned
+        # ``repro`` shadowing any real installation: the import must
+        # fail and the exit code must be non-zero (the satellite fix).
+        tool = tmp_path / "profile_protocol.py"
+        shutil.copy(
+            os.path.join(ROOT, "tools", "profile_protocol.py"), tool
+        )
+        (tmp_path / "repro.py").write_text(
+            'raise ImportError("poisoned for the test")\n'
+        )
+        env = {k: v for k, v in os.environ.items() if k != "PYTHONPATH"}
+        proc = subprocess.run(
+            [sys.executable, str(tool), "3", "10"],
+            capture_output=True, text=True, timeout=60, env=env,
+            cwd=str(tmp_path),
+        )
+        assert proc.returncode == 1
+        assert "cannot import repro" in proc.stderr

@@ -1,38 +1,44 @@
 #!/usr/bin/env python3
 """Profile the protocol hot path (the 'measure before optimizing' tool).
 
-Runs a full-load access at (q=2, n=9) under cProfile and prints the top
-cumulative-time entries -- useful when touching the vectorized kernels
-(gf tables, vindex, arbitration) to see where the time actually goes.
+Thin wrapper around :func:`repro.obs.profiling.profile_access`, which is
+also exposed as ``python -m repro profile`` (no repo checkout needed).
+Runs a full-load access at (q=2, n) under cProfile and prints the top
+entries -- useful when touching the vectorized kernels (gf tables,
+vindex, arbitration) to see where the time actually goes.
 
-Run:  python tools/profile_protocol.py [n] [requests]
+Run:  python tools/profile_protocol.py [n] [requests] [--sort KEY]
 """
 
 from __future__ import annotations
 
-import cProfile
-import pstats
+import argparse
 import sys
+from pathlib import Path
 
 
-def main() -> int:
-    n = int(sys.argv[1]) if len(sys.argv) > 1 else 9
-    count = int(sys.argv[2]) if len(sys.argv) > 2 else 100_000
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    p.add_argument("n", type=int, nargs="?", default=9,
+                   help="extension degree (default 9)")
+    p.add_argument("requests", type=int, nargs="?", default=100_000,
+                   help="max distinct requests (default 100000)")
+    p.add_argument("--sort", choices=["cumulative", "tottime"],
+                   default="cumulative", help="pstats sort key")
+    p.add_argument("--limit", type=int, default=15,
+                   help="stats entries to print")
+    args = p.parse_args(argv)
 
-    from repro.core.scheme import PPScheme
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    try:
+        from repro.obs.profiling import profile_access
+    except ImportError as exc:
+        print(f"error: cannot import repro ({exc}); install the package "
+              "or run from a checkout", file=sys.stderr)
+        return 1
 
-    scheme = PPScheme(2, n)
-    count = min(count, scheme.N, scheme.M)
-    idx = scheme.random_request_set(count, seed=0)
-
-    prof = cProfile.Profile()
-    prof.enable()
-    res = scheme.access(idx, op="count")
-    prof.disable()
-
-    print(f"N = {scheme.N}, requests = {count}, Phi = {res.max_phase_iterations}")
-    stats = pstats.Stats(prof)
-    stats.sort_stats("cumulative").print_stats(15)
+    profile_access(n=args.n, count=args.requests, sort=args.sort,
+                   limit=args.limit)
     return 0
 
 
