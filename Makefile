@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples docs all clean
+.PHONY: install test bench examples docs perf perf-check all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -19,6 +19,13 @@ examples:
 
 docs:
 	$(PYTHON) tools/gen_api_docs.py
+
+perf:
+	$(PYTHON) -m repro perf record
+	$(PYTHON) -m repro perf report
+
+perf-check:
+	$(PYTHON) -m repro perf check
 
 record:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

@@ -2,21 +2,69 @@
 
 Every bench regenerates one experiment of DESIGN.md's index, prints its
 table(s), and persists them under ``benchmarks/results/`` so
-EXPERIMENTS.md can be assembled from the exact program output.  A bench
-that ran with metrics collection on (:mod:`repro.obs`) may pass the
-registry to :func:`save_tables` to persist the snapshot alongside the
-result tables.
+EXPERIMENTS.md can be assembled from the exact program output.  The
+timing path of every bench also routes through the session-wide
+:class:`repro.obs.perf.BenchRecorder` (via :func:`once` / :func:`timed`
+/ :func:`scalar`), which ``conftest.py`` flushes to a ``BENCH_*.json``
+run record at the repo root when the session ends -- that file is the
+input to ``repro perf report`` / ``repro perf check``.
+
+A bench that ran with metrics collection on (:mod:`repro.obs`) may pass
+the registry to :func:`save_tables` to persist the snapshot alongside
+the result tables; :func:`load_metrics` reads it back (the files are
+schema-versioned so stale snapshots fail loudly instead of silently).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 
 from repro.analysis.report import Table
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.perf import BenchRecorder
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Version of the ``{name}.metrics.json`` envelope written by
+#: :func:`save_tables` and checked by :func:`load_metrics`.
+METRICS_SCHEMA = 1
+
+_RECORDER = BenchRecorder(source="pytest-benchmarks")
+
+
+def recorder() -> BenchRecorder:
+    """The benchmark session's shared recorder (flushed by conftest)."""
+    return _RECORDER
+
+
+def scalar(name: str, value) -> None:
+    """Record a headline scalar (fitted exponent, Phi, throughput) into
+    the session's ``BENCH_*.json`` run record."""
+    _RECORDER.scalar(name, value)
+
+
+def once(benchmark, fn, name: str | None = None):
+    """Run an experiment function exactly once under pytest-benchmark
+    (the experiments measure algorithmic quantities, not wall time; one
+    round keeps ``--benchmark-only`` sweeps fast).  When ``name`` is
+    given, the single run's wall time is folded into the session
+    recorder as a one-sample timed section."""
+    t0 = time.perf_counter()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    if name is not None:
+        _RECORDER.observe(name, time.perf_counter() - t0)
+    return result
+
+
+def timed(benchmark, name: str, fn, warmup: int = 1, repeats: int = 5) -> dict:
+    """Measure a hot-path kernel through the session recorder (monotonic
+    clock, warmup + repeat-k, median/MAD) and register one round with
+    pytest-benchmark for its own table; returns the section summary."""
+    summary = _RECORDER.measure(name, fn, warmup=warmup, repeats=repeats)
+    benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    return summary
 
 
 def save_tables(
@@ -29,7 +77,9 @@ def save_tables(
     rendered text.
 
     When ``metrics`` is given (a registry or a snapshot dict), its JSON
-    snapshot is written next to the table as ``{name}.metrics.json``.
+    snapshot is written next to the table as ``{name}.metrics.json``,
+    wrapped in a schema-versioned envelope that :func:`load_metrics`
+    checks on the way back in.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     chunks = [t.render() for t in tables]
@@ -41,16 +91,29 @@ def save_tables(
         fh.write(text)
     if metrics is not None:
         snap = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+        payload = {"schema": METRICS_SCHEMA, "name": name, "metrics": snap}
         with open(os.path.join(RESULTS_DIR, f"{name}.metrics.json"), "w") as fh:
-            json.dump(snap, fh, indent=2, default=str)
+            json.dump(payload, fh, indent=2, default=str)
             fh.write("\n")
     print()
     print(text)
     return text
 
 
-def once(benchmark, fn):
-    """Run an experiment function exactly once under pytest-benchmark
-    (the experiments measure algorithmic quantities, not wall time; one
-    round keeps ``--benchmark-only`` sweeps fast)."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+def load_metrics(name: str) -> dict:
+    """Read back the metrics snapshot :func:`save_tables` persisted for
+    ``name``; raises ``FileNotFoundError`` when the experiment never
+    dumped one and ``ValueError`` on a schema mismatch."""
+    path = os.path.join(RESULTS_DIR, f"{name}.metrics.json")
+    with open(path) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "schema" not in payload:
+        raise ValueError(f"{path}: unversioned metrics snapshot")
+    if payload["schema"] != METRICS_SCHEMA:
+        raise ValueError(
+            f"{path}: metrics schema {payload['schema']!r}, "
+            f"expected {METRICS_SCHEMA}"
+        )
+    if not isinstance(payload.get("metrics"), dict):
+        raise ValueError(f"{path}: missing metrics payload")
+    return payload["metrics"]

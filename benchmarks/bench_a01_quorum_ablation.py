@@ -14,7 +14,7 @@ Measured: protocol iterations per rule on uniform and adversarial
 traffic, plus a correctness column (can the rule guarantee freshness?).
 """
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar
 from repro.analysis.report import Table
 from repro.core.protocol import run_access_protocol
 from repro.core.scheme import PPScheme
@@ -54,6 +54,7 @@ def run_experiment():
 
 
 def test_a01_quorum(benchmark):
-    rows = once(benchmark, run_experiment)
+    rows = once(benchmark, run_experiment, name="a01.experiment")
+    scalar("a01.majority_tight_phi", rows[2][1])
     assert rows[1][1] <= rows[2][1] <= rows[3][1]  # monotone in quorum
     assert rows[3][1] <= 3 * rows[2][1]  # and majority is close to any-copy

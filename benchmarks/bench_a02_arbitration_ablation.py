@@ -8,7 +8,7 @@ pending request each module serves.
 
 import numpy as np
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar
 from repro.analysis.report import Table
 from repro.core.graph import MemoryGraph
 from repro.core.protocol import run_access_protocol
@@ -49,4 +49,6 @@ def run_experiment():
 
 
 def test_a02_arbitration(benchmark):
-    assert once(benchmark, run_experiment) < 0.4
+    spread = once(benchmark, run_experiment, name="a02.experiment")
+    scalar("a02.max_phi_spread", spread)
+    assert spread < 0.4

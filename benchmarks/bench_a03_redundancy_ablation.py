@@ -10,7 +10,7 @@ Measured: protocol cost, copies touched, and storage overhead for both
 parameterizations on machines of comparable size.
 """
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar, timed
 from repro.analysis.report import Table
 from repro.core.scheme import PPScheme
 
@@ -60,7 +60,9 @@ def run_experiment():
 
 
 def test_a03_redundancy(benchmark):
-    rows = once(benchmark, run_experiment)
+    rows = once(benchmark, run_experiment, name="a03.experiment")
+    scalar("a03.copies_touched_q2", rows[2][1])
+    scalar("a03.copies_touched_q4", rows[4][1])
     # copy traffic grows strictly with q for the same request count
     assert rows[2][1] < rows[4][1] < rows[8][1]
 
@@ -68,4 +70,5 @@ def test_a03_redundancy(benchmark):
 def test_a03_q4_access_speed(benchmark):
     s = PPScheme(4, 3)
     idx = s.random_request_set(1000, seed=3)
-    benchmark(lambda: s.access(idx, op="count"))
+    timed(benchmark, "kernels.q4_access_1000",
+          lambda: s.access(idx, op="count"))

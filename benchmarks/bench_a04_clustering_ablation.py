@@ -10,7 +10,7 @@ Measured: iterations and total module cycles for phases in {q+1, 1} on
 uniform and adversarial traffic.
 """
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar
 from repro.analysis.report import Table
 from repro.core.graph import MemoryGraph
 from repro.core.protocol import run_access_protocol
@@ -51,5 +51,7 @@ def run_experiment():
 
 
 def test_a04_clustering(benchmark):
-    out = once(benchmark, run_experiment)
+    out = once(benchmark, run_experiment, name="a04.experiment")
+    scalar("a04.phased_total_iters_uniform",
+           out[("uniform full load (n=7)", 3)])
     assert all(v > 0 for v in out.values())

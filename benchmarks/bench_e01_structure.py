@@ -10,7 +10,7 @@ Regenerated here: the closed forms against fully constructed graphs
 
 import math
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar, timed
 from repro.analysis.report import Table
 from repro.core.bounds import fact1_counts
 from repro.core.graph import MemoryGraph
@@ -51,9 +51,10 @@ def run_experiment():
 
 
 def test_e01_structure(benchmark):
-    worst_gap = once(benchmark, run_experiment)
+    worst_gap = once(benchmark, run_experiment, name="e01.experiment")
+    scalar("e01.max_exponent_gap", worst_gap)
     assert worst_gap < 0.25  # finite-size effect only
 
 
 def test_e01_graph_construction_speed(benchmark):
-    benchmark(lambda: MemoryGraph(2, 7))
+    timed(benchmark, "kernels.graph_build_n7", lambda: MemoryGraph(2, 7))

@@ -9,7 +9,7 @@ Regenerated here: the per-case maxima at (2,3) exhaustively and at
 (4,3) sampled, demonstrating both the bound and its tightness.
 """
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar, timed
 from repro.analysis.report import Table
 from repro.core.graph import MemoryGraph
 
@@ -54,7 +54,8 @@ def run_experiment():
 
 
 def test_e03_theorem3(benchmark):
-    results = once(benchmark, run_experiment)
+    results = once(benchmark, run_experiment, name="e03.experiment")
+    scalar("e03.max_gamma2_intersection", max(w for w, _, _ in results))
     for worst, q, tight in results:
         assert worst <= q - 1
         assert tight > 0
@@ -62,4 +63,4 @@ def test_e03_theorem3(benchmark):
 
 def test_e03_gamma2_kernel_speed(benchmark):
     g = MemoryGraph(2, 5)
-    benchmark(lambda: g.gamma2_module(17))
+    timed(benchmark, "kernels.gamma2_module_n5", lambda: g.gamma2_module(17))

@@ -10,7 +10,7 @@ adversarial sets, and the tight-set series with its fitted exponent.
 
 import numpy as np
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar, timed
 from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import Table
 from repro.core.bounds import expansion_lower_bound
@@ -70,7 +70,9 @@ def run_experiment():
 
 
 def test_e04_theorem4(benchmark):
-    min_ratio, alpha = once(benchmark, run_experiment)
+    min_ratio, alpha = once(benchmark, run_experiment, name="e04.experiment")
+    scalar("e04.min_expansion_ratio", min_ratio)
+    scalar("e04.alpha_tight_series", alpha)
     assert min_ratio >= 1.0  # the lower bound holds everywhere
     assert 0.55 < alpha < 0.8  # the witnesses scale like the 2/3 power
 
@@ -83,4 +85,4 @@ def test_e04_gamma_of_set_speed(benchmark):
     def measure():
         return np.unique(g.vgamma_variables(mats)).size
 
-    benchmark(measure)
+    timed(benchmark, "kernels.gamma_of_set_4096_n7", measure)

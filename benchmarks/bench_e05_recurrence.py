@@ -11,7 +11,7 @@ verifying per-step domination and comparing total iteration counts.
 
 import numpy as np
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar, timed
 from repro.analysis.report import Table
 from repro.core.bounds import recurrence_step, simulate_recurrence
 from repro.core.graph import MemoryGraph
@@ -73,10 +73,13 @@ def run_experiment():
 
 
 def test_e05_recurrence_dominates(benchmark):
-    assert once(benchmark, run_experiment) == 0
+    violations = once(benchmark, run_experiment, name="e05.experiment")
+    scalar("e05.recurrence_violations", violations)
+    assert violations == 0
 
 
 def test_e05_protocol_phase_speed(benchmark):
     g = MemoryGraph(2, 10)
     mods = tight_set_module_ids(g, 5)
-    benchmark(lambda: run_access_protocol(mods, g.N, g.majority, n_phases=1))
+    timed(benchmark, "kernels.protocol_phase_tight_n10",
+          lambda: run_access_protocol(mods, g.N, g.majority, n_phases=1))

@@ -14,7 +14,7 @@ Regenerated here:
 
 import numpy as np
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar, timed
 from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import Table
 from repro.core.bounds import phi_bound
@@ -86,13 +86,15 @@ def run_experiment():
 
 
 def test_e06_theorem6_shape(benchmark):
-    alpha = once(benchmark, run_experiment)
+    alpha = once(benchmark, run_experiment, name="e06.experiment")
+    scalar("e06.alpha_worst_case", alpha)
     assert 0.2 < alpha < 0.45
 
 
 def test_e06_full_load_n7_speed(benchmark, scheme_2_7):
     idx = scheme_2_7.random_request_set(scheme_2_7.N, seed=3)
     mods = scheme_2_7.module_ids_for(idx)
-    benchmark(
-        lambda: run_access_protocol(mods, scheme_2_7.N, scheme_2_7.majority)
+    timed(
+        benchmark, "kernels.protocol_full_n7",
+        lambda: run_access_protocol(mods, scheme_2_7.N, scheme_2_7.majority),
     )

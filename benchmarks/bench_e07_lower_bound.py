@@ -14,7 +14,7 @@ average-redundancy bound of [UW87].
 
 import numpy as np
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar
 from repro.analysis.report import Table
 from repro.core.bounds import lower_bound_average_r, lower_bound_exact_r
 from repro.schemes import (
@@ -75,4 +75,6 @@ def run_experiment():
 
 
 def test_e07_lower_bound(benchmark):
-    assert once(benchmark, run_experiment)
+    ok = once(benchmark, run_experiment, name="e07.experiment")
+    scalar("e07.floor_respected", ok)
+    assert ok

@@ -12,7 +12,7 @@ each scheme's own adversary, reads and writes separately.
 
 import numpy as np
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar, timed
 from repro.analysis.report import Table
 from repro.schemes import (
     MehlhornVishkinScheme,
@@ -91,9 +91,12 @@ def run_experiment():
 
 
 def test_e08_comparison(benchmark):
-    assert once(benchmark, run_experiment)
+    verdict = once(benchmark, run_experiment, name="e08.experiment")
+    scalar("e08.ordering_holds", verdict)
+    assert verdict
 
 
 def test_e08_pp_access_speed(benchmark, scheme_2_5):
     idx = scheme_2_5.random_request_set(1024, seed=0)
-    benchmark(lambda: scheme_2_5.access(idx, op="count"))
+    timed(benchmark, "kernels.pp_access_1024_n5",
+          lambda: scheme_2_5.access(idx, op="count"))

@@ -13,7 +13,7 @@ unranking; (d) the storage footprint of the addressing state.
 
 import numpy as np
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar, timed
 from repro.analysis.report import Table
 from repro.core.addressing import AddressLayer
 from repro.core.graph import MemoryGraph
@@ -75,7 +75,8 @@ def run_experiment():
 
 
 def test_e09_theorem8_and_logN(benchmark):
-    complete, spread = once(benchmark, run_experiment)
+    complete, spread = once(benchmark, run_experiment, name="e09.experiment")
+    scalar("e09.steps_per_logN_spread", spread)
     assert complete
     assert spread < 3.0  # steps/log N ratio stays flat within 3x
 
@@ -84,9 +85,12 @@ def test_e09_vunrank_throughput(benchmark):
     addr = AddressLayer(MemoryGraph(2, 9))
     rng = np.random.default_rng(1)
     idx = rng.choice(addr.M, 100_000, replace=False).astype(np.int64)
-    benchmark(lambda: addr.vunrank(idx))
+    summary = timed(benchmark, "kernels.vunrank_100k_n9",
+                    lambda: addr.vunrank(idx))
+    scalar("e09.vunrank_vars_per_s", 100_000 / summary["median"])
 
 
 def test_e09_scalar_unrank_speed(benchmark):
     addr = AddressLayer(MemoryGraph(2, 9))
-    benchmark(lambda: addr.unrank(12345678))
+    timed(benchmark, "kernels.scalar_unrank_n9",
+          lambda: addr.unrank(12345678))

@@ -12,7 +12,7 @@ quantitative.
 
 import numpy as np
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar
 from repro.analysis.report import Table
 from repro.core.graph import MemoryGraph
 
@@ -68,6 +68,8 @@ def run_experiment():
 
 
 def test_e10_figure1(benchmark):
-    four_cycles, cor1_ok = once(benchmark, run_experiment)
+    four_cycles, cor1_ok = once(benchmark, run_experiment,
+                                name="e10.experiment")
+    scalar("e10.four_cycles", four_cycles)
     assert four_cycles == 0
     assert cor1_ok

@@ -12,7 +12,7 @@ column grows linearly, the majority columns stay flat.
 
 import numpy as np
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar, timed
 from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import Table
 from repro.schemes import (
@@ -60,7 +60,10 @@ def run_experiment():
 
 
 def test_e11_write_asymmetry(benchmark):
-    alpha_mv, alpha_pp = once(benchmark, run_experiment)
+    alpha_mv, alpha_pp = once(benchmark, run_experiment,
+                              name="e11.experiment")
+    scalar("e11.alpha_mv_writes", alpha_mv)
+    scalar("e11.alpha_pp_writes", alpha_pp)
     assert alpha_mv > 0.8  # near-linear collapse
     assert alpha_pp < 0.5  # majority stays flat-ish
 
@@ -72,4 +75,4 @@ def test_e11_write_throughput_pp(benchmark, scheme_2_5):
     def do():
         scheme_2_5.write(idx, values=idx, store=store, time=1)
 
-    benchmark(do)
+    timed(benchmark, "kernels.pp_write_512_n5", do)

@@ -15,7 +15,7 @@ survivors, as the number of failed modules sweeps 0 -> N/2.
 import numpy as np
 from scipy.stats import binom
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar
 from repro.analysis.report import Table
 from repro.core.scheme import PPScheme
 
@@ -77,4 +77,6 @@ def run_experiment():
 
 
 def test_e13_fault_tolerance(benchmark):
-    assert once(benchmark, run_experiment) < 0.05
+    gap = once(benchmark, run_experiment, name="e13.experiment")
+    scalar("e13.max_binomial_gap", gap)
+    assert gap < 0.05

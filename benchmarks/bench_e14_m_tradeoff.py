@@ -15,7 +15,7 @@ scheme's Theorem-7 floor.
 
 import numpy as np
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar
 from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import Table
 from repro.core.bounds import lower_bound_exact_r
@@ -81,7 +81,9 @@ def run_experiment():
 
 
 def test_e14_tradeoff(benchmark):
-    g_alpha, p_alpha = once(benchmark, run_experiment)
+    g_alpha, p_alpha = once(benchmark, run_experiment, name="e14.experiment")
+    scalar("e14.alpha_grid", g_alpha)
+    scalar("e14.alpha_pgl2", p_alpha)
     assert 0.38 < g_alpha < 0.62
     assert 0.2 < p_alpha < 0.45
     assert g_alpha > p_alpha + 0.08  # the gap is real

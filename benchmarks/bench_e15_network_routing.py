@@ -15,7 +15,7 @@ costs on a hypercube (degree log N) and a torus (degree 4):
 
 import numpy as np
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar, timed
 from repro.analysis.fitting import fit_power_law
 from repro.analysis.report import Table
 from repro.core.scheme import PPScheme
@@ -72,7 +72,8 @@ def run_experiment():
 
 
 def test_e15_network(benchmark):
-    alpha = once(benchmark, run_experiment)
+    alpha = once(benchmark, run_experiment, name="e15.experiment")
+    scalar("e15.alpha_hypercube_overhead", alpha)
     assert alpha < 0.35  # far below linear: log-like growth
 
 
@@ -83,4 +84,5 @@ def test_e15_routing_speed(benchmark):
     dst = rng.integers(0, 1024, 3000)
     from repro.network import route_packets
 
-    benchmark(lambda: route_packets(topo, src, dst))
+    timed(benchmark, "kernels.route_packets_3000_h10",
+          lambda: route_packets(topo, src, dst))

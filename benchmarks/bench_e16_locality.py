@@ -18,7 +18,7 @@ churn rates, for the PGL2 scheme and the baselines.
 
 import numpy as np
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar
 from repro.analysis.report import Table
 from repro.schemes import PPAdapter, SingleCopyScheme, UpfalWigdersonScheme
 from repro.workloads.traces import locality_trace, replay_trace, zipfian_batch
@@ -71,6 +71,7 @@ def run_experiment():
 
 
 def test_e16_locality(benchmark):
-    rows = once(benchmark, run_experiment)
+    rows = once(benchmark, run_experiment, name="e16.experiment")
+    scalar("e16.pp_iters_zipf99", rows[0.99])
     # cost never grows with skew beyond noise
     assert rows[0.99] <= rows[0.0] + 1

@@ -13,7 +13,7 @@ access congestion on full random request loads.
 
 import numpy as np
 
-from _util import once, save_tables
+from _util import once, save_tables, scalar
 from repro.analysis.report import Table
 from repro.schemes import PPAdapter, SingleCopyScheme, UpfalWigdersonScheme
 
@@ -50,7 +50,9 @@ def run_experiment():
 
 
 def test_e17_balance(benchmark):
-    results = once(benchmark, run_experiment)
+    results = once(benchmark, run_experiment, name="e17.experiment")
     pp_std, pp_ratio = results["pietracaprina-preparata"]
+    scalar("e17.pp_load_stddev", pp_std)
+    scalar("e17.uw_load_stddev", results["upfal-wigderson"][0])
     assert pp_std == 0.0 and pp_ratio == 1.0
     assert results["upfal-wigderson"][0] > 0

@@ -1,5 +1,8 @@
 """Benchmark-suite configuration: make `benchmarks` importable as a
-package-less directory and share slow graph fixtures."""
+package-less directory, share slow graph fixtures, and flush the
+session's :class:`repro.obs.perf.BenchRecorder` to a ``BENCH_*.json``
+run record at the repo root when the session ends (metrics collection
+is on for the whole session so the record carries the obs snapshot)."""
 
 import os
 import sys
@@ -8,7 +11,12 @@ import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))
 
+from repro import obs  # noqa: E402
 from repro.core.scheme import PPScheme  # noqa: E402
+
+import _util  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 @pytest.fixture(scope="session")
@@ -19,3 +27,19 @@ def scheme_2_5():
 @pytest.fixture(scope="session")
 def scheme_2_7():
     return PPScheme(2, 7)
+
+
+def pytest_sessionstart(session):
+    obs.enable_metrics()
+    obs.metrics().reset()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    obs.disable_metrics()
+    rec = _util.recorder()
+    if rec.empty:
+        return
+    rec.attach_metrics(obs.metrics())
+    out_dir = os.environ.get("REPRO_BENCH_DIR", REPO_ROOT)
+    path = rec.write(out_dir)
+    print(f"\n[repro.obs.perf] run record -> {path}")

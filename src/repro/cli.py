@@ -10,7 +10,12 @@ Subcommands
 ``expansion`` measure |Gamma(S)| vs the Theorem-4 bound;
 ``metrics``   run a batch with metrics collection on and print the JSON
               snapshot of the registry;
-``profile``   cProfile the protocol hot path.
+``profile``   cProfile the protocol hot path;
+``perf``      the performance trajectory (:mod:`repro.obs.perf`):
+              ``record`` runs the quick bench suite and writes a
+              ``BENCH_*.json`` run record, ``report`` renders the trend
+              dashboard, ``check`` gates on regressions vs the rolling
+              baseline (non-zero exit when a hot path got slower).
 
 Examples::
 
@@ -22,11 +27,15 @@ Examples::
     python -m repro profile -n 7 --count 10000 --sort tottime
     python -m repro sweep --max-n 7
     python -m repro expansion -q 2 -n 5 --sizes 16 64 256
+    python -m repro perf record --repeats 3
+    python -m repro perf report
+    python -m repro perf check --window 5 --ratio 0.25
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -102,6 +111,46 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--sizes", type=int, nargs="+", default=[16, 64, 256])
     sp.add_argument("--trials", type=int, default=3)
     sp.add_argument("--seed", type=int, default=0)
+
+    sp = sub.add_parser(
+        "perf", help="benchmark telemetry: record / report / check"
+    )
+    psub = sp.add_subparsers(dest="verb", required=True)
+
+    def add_store(vp):
+        vp.add_argument("--dir", default=".", metavar="DIR",
+                        help="directory holding the BENCH_*.json records")
+        vp.add_argument("--window", type=int, default=5,
+                        help="rolling-baseline window (runs)")
+
+    vp = psub.add_parser(
+        "record", help="run the quick bench suite, write a BENCH_*.json"
+    )
+    vp.add_argument("--out", default=".", metavar="DIR",
+                    help="directory to write the run record into")
+    vp.add_argument("--repeats", type=int, default=3,
+                    help="recorded repetitions per timed section")
+
+    vp = psub.add_parser(
+        "report", help="render the trend dashboard (sparklines per metric)"
+    )
+    add_store(vp)
+    vp.add_argument(
+        "--md-out", metavar="FILE",
+        default=os.path.join("benchmarks", "results", "perf_dashboard.md"),
+        help="markdown dashboard path ('-' to skip writing)",
+    )
+
+    vp = psub.add_parser(
+        "check", help="regression gate: non-zero exit on a flagged slowdown"
+    )
+    add_store(vp)
+    vp.add_argument("--ratio", type=float, default=0.25,
+                    help="relative slowdown tolerated before flagging")
+    vp.add_argument("--mad-k", type=float, default=4.0,
+                    help="MAD multiples of baseline noise tolerated")
+    vp.add_argument("--soft", action="store_true",
+                    help="report regressions but exit 0 (CI bootstrap)")
 
     sp = sub.add_parser("verify", help="run the instance self-checks")
     add_qn(sp)
@@ -236,6 +285,95 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _perf_record(args) -> int:
+    from repro import obs
+    from repro.obs.perf import BenchRecorder, run_quick_suite
+
+    rec = BenchRecorder(source="quick-suite")
+    was_on = obs.metrics_enabled()
+    obs.enable_metrics()
+    obs.metrics().reset()
+    try:
+        run_quick_suite(rec, repeats=args.repeats)
+    finally:
+        if not was_on:
+            obs.disable_metrics()
+    rec.attach_metrics(obs.metrics())
+    path = rec.write(args.out)
+    print(f"run record -> {path}")
+    return 0
+
+
+def _perf_report(args) -> int:
+    from repro.obs.perf import Trajectory, render_report
+
+    results_dir = os.path.join(args.dir, "benchmarks", "results")
+    traj = Trajectory.load(
+        args.dir,
+        results_dir=results_dir if os.path.isdir(results_dir) else None,
+    )
+    text = render_report(traj, window=args.window)
+    print(text)
+    if args.md_out != "-":
+        os.makedirs(os.path.dirname(args.md_out) or ".", exist_ok=True)
+        with open(args.md_out, "w") as fh:
+            fh.write(text)
+        print(f"dashboard -> {args.md_out}", file=sys.stderr)
+    for p in traj.skipped:
+        print(f"warning: skipped unreadable record {p}", file=sys.stderr)
+    return 0
+
+
+def _perf_check(args) -> int:
+    from repro.obs.perf import RegressionDetector, Trajectory
+
+    traj = Trajectory.load(args.dir)
+    det = RegressionDetector(
+        traj, window=args.window, ratio=args.ratio, mad_k=args.mad_k
+    )
+    res = det.check()
+    if len(traj) < 2:
+        print(f"perf check: {len(traj)} run(s) recorded, no baseline yet -- ok")
+        return 0
+    t = Table(
+        ["section", "latest", "baseline", "x", "verdict"],
+        title=f"perf check -- {res.checked} sections vs last "
+        f"{res.baseline_runs} run(s)",
+    )
+    flagged = {r.name: r for r in res.regressions}
+    latest = traj.latest
+    for name in sorted(latest.get("sections", {})):
+        r = flagged.get(name)
+        base = traj.baseline(name, args.window)
+        summary = latest["sections"][name]
+        t.add_row([
+            name,
+            round(summary.get("median", float("nan")), 6),
+            round(base[0], 6) if base else None,
+            round(r.ratio, 2) if r
+            else (round(summary["median"] / base[0], 2)
+                  if base and base[0] else None),
+            "REGRESSION" if r else ("new" if base is None else "ok"),
+        ])
+    t.print()
+    if res.regressions:
+        print(
+            f"\n{len(res.regressions)} regression(s) beyond "
+            f"baseline + max({args.ratio:.0%}, {args.mad_k:g} MAD)"
+        )
+        return 0 if args.soft else 1
+    print("\nno regressions")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    return {
+        "record": _perf_record,
+        "report": _perf_report,
+        "check": _perf_check,
+    }[args.verb](args)
+
+
 def _cmd_sweep(args) -> int:
     t = Table(
         ["n", "N", "Phi", "bound shape", "total iterations"],
@@ -286,6 +424,7 @@ _COMMANDS = {
     "access": _cmd_access,
     "metrics": _cmd_metrics,
     "profile": _cmd_profile,
+    "perf": _cmd_perf,
     "sweep": _cmd_sweep,
     "expansion": _cmd_expansion,
     "verify": _cmd_verify,

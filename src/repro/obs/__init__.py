@@ -75,6 +75,11 @@ emitted per-phase iteration counts equal ``AccessResult`` exactly
 ``python -m repro profile`` runs the cProfile harness
 (:mod:`repro.obs.profiling`); ``tools/trace_report.py`` renders a trace
 as the per-phase table of EXPERIMENTS.md E06.
+
+Cross-run performance lives one layer up: :mod:`repro.obs.perf` folds
+each benchmark session's timings (and a metrics snapshot) into a
+``BENCH_*.json`` run record and gates regressions via ``python -m repro
+perf record|report|check``.
 """
 
 from __future__ import annotations

@@ -160,10 +160,14 @@ class Histogram:
 
 
 class Timer:
-    """Accumulated wall time of a repeated operation (seconds)."""
+    """Accumulated wall time of a repeated operation (seconds).
+
+    Tracks count/total/max and the best-of-k ``min`` -- regression
+    checks compare best observed times, which are the least noisy.
+    """
 
     kind = "timer"
-    __slots__ = ("count", "total", "max")
+    __slots__ = ("count", "total", "max", "min")
 
     def __init__(self):
         self.reset()
@@ -174,6 +178,8 @@ class Timer:
         self.total += seconds
         if seconds > self.max:
             self.max = seconds
+        if self.min is None or seconds < self.min:
+            self.min = seconds
 
     def time(self) -> "_TimerContext":
         """Context manager measuring the ``with`` block's duration."""
@@ -186,6 +192,7 @@ class Timer:
             "type": self.kind,
             "count": self.count,
             "total_seconds": self.total,
+            "min_seconds": self.min,
             "max_seconds": self.max,
             "mean_seconds": mean,
         }
@@ -195,12 +202,16 @@ class Timer:
         self.count += other.count
         self.total += other.total
         self.max = max(self.max, other.max)
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min,
+                                                              other.min)
 
     def reset(self) -> None:
-        """Zero the accumulated time."""
+        """Zero the accumulated time (``min`` becomes None: no samples)."""
         self.count = 0
         self.total = 0.0
         self.max = 0.0
+        self.min = None
 
 
 class _TimerContext:

@@ -99,14 +99,26 @@ class TestTimer:
         snap = t.snapshot()
         assert snap["count"] == 2
         assert snap["total_seconds"] == 2.0
+        assert snap["min_seconds"] == 0.5
         assert snap["max_seconds"] == 1.5
         assert snap["mean_seconds"] == 1.0
+
+    def test_min_tracking(self):
+        t = Timer()
+        assert t.snapshot()["min_seconds"] is None  # no samples yet
+        t.observe(2.0)
+        t.observe(0.25)
+        t.observe(1.0)
+        assert t.min == 0.25
+        t.reset()
+        assert t.min is None and t.snapshot()["min_seconds"] is None
 
     def test_time_context(self):
         t = Timer()
         with t.time():
             pass
         assert t.count == 1 and t.total >= 0.0
+        assert t.min is not None and t.min <= t.max
 
     def test_merge(self):
         a, b = Timer(), Timer()
@@ -114,6 +126,15 @@ class TestTimer:
         b.observe(3.0)
         a.merge(b)
         assert a.count == 2 and a.total == 4.0 and a.max == 3.0
+        assert a.min == 1.0
+
+    def test_merge_min_with_empty(self):
+        a, b = Timer(), Timer()
+        b.observe(0.5)
+        a.merge(b)  # empty absorbs the other's min
+        assert a.min == 0.5
+        a.merge(Timer())  # merging an empty timer keeps the min
+        assert a.min == 0.5
 
 
 class TestRegistry:

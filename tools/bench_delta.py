@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Diff two ``BENCH_*.json`` run records section by section.
+
+``repro perf check`` gates the latest run against the rolling baseline;
+this tool answers the narrower CI-artifact question "what changed
+between exactly these two runs?" -- e.g. a downloaded baseline artifact
+vs the record a PR build just produced.
+
+Run:  python tools/bench_delta.py BASELINE.json CANDIDATE.json
+      [--ratio 0.25]
+
+Exit status: 0 when no section slowed down beyond ``--ratio``, 1
+otherwise, 2 on unreadable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.report import Table  # noqa: E402
+from repro.obs.perf import load_record  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("baseline", help="reference BENCH_*.json")
+    ap.add_argument("candidate", help="BENCH_*.json under test")
+    ap.add_argument("--ratio", type=float, default=0.25,
+                    help="relative slowdown tolerated before failing")
+    args = ap.parse_args(argv)
+
+    try:
+        base = load_record(args.baseline)
+        cand = load_record(args.candidate)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    bsec = base.get("sections", {})
+    csec = cand.get("sections", {})
+    t = Table(
+        ["section", "baseline", "candidate", "delta", "verdict"],
+        title=f"bench delta -- {base.get('created_utc')} -> "
+        f"{cand.get('created_utc')}",
+    )
+    regressions = 0
+    for name in sorted(set(bsec) | set(csec)):
+        b = bsec.get(name, {}).get("median")
+        c = csec.get(name, {}).get("median")
+        ok_pair = (
+            isinstance(b, (int, float)) and isinstance(c, (int, float))
+            and math.isfinite(b) and math.isfinite(c) and b > 0 and c > 0
+        )
+        if not ok_pair:
+            t.add_row([name, b, c, "-",
+                       "baseline-only" if c is None else
+                       "candidate-only" if b is None else "unusable"])
+            continue
+        delta = (c - b) / b
+        slow = delta > args.ratio
+        regressions += slow
+        t.add_row([name, round(b, 6), round(c, 6), f"{delta:+.1%}",
+                   "REGRESSION" if slow else "ok"])
+    t.print()
+    if regressions:
+        print(f"\n{regressions} section(s) slower than {args.ratio:.0%}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
