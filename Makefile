@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples docs perf perf-check all clean
+.PHONY: install test bench examples docs perf perf-check coverage faults all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -26,6 +26,13 @@ perf:
 
 perf-check:
 	$(PYTHON) -m repro perf check
+
+coverage:
+	$(PYTHON) tools/coverage_gate.py --fail-under 95.6 \
+		--min-package repro/faults=90 --report
+
+faults:
+	$(PYTHON) -m repro faults campaign --qs 2 4 8
 
 record:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

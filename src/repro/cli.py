@@ -15,7 +15,12 @@ Subcommands
               ``record`` runs the quick bench suite and writes a
               ``BENCH_*.json`` run record, ``report`` renders the trend
               dashboard, ``check`` gates on regressions vs the rolling
-              baseline (non-zero exit when a hot path got slower).
+              baseline (non-zero exit when a hot path got slower);
+``faults``    fault-injection campaigns (:mod:`repro.faults.campaign`):
+              ``campaign`` sweeps the fault models and the q/2 threshold
+              ladders and writes ``faults_campaign.{md,json}`` (non-zero
+              exit on any semantic violation below the threshold),
+              ``report`` re-renders a stored campaign.
 
 Examples::
 
@@ -30,6 +35,8 @@ Examples::
     python -m repro perf record --repeats 3
     python -m repro perf report
     python -m repro perf check --window 5 --ratio 0.25
+    python -m repro faults campaign --qs 2 4 8 --seed 0
+    python -m repro faults report
 """
 
 from __future__ import annotations
@@ -151,6 +158,43 @@ def build_parser() -> argparse.ArgumentParser:
                     help="MAD multiples of baseline noise tolerated")
     vp.add_argument("--soft", action="store_true",
                     help="report regressions but exit 0 (CI bootstrap)")
+
+    sp = sub.add_parser(
+        "faults", help="fault-injection campaigns: campaign / report"
+    )
+    fsub = sp.add_subparsers(dest="verb", required=True)
+
+    vp = fsub.add_parser(
+        "campaign",
+        help="sweep fault models and the q/2 threshold ladders; "
+        "non-zero exit on violations",
+    )
+    vp.add_argument("--qs", type=int, nargs="+", default=[2, 4, 8],
+                    help="quorum degrees q to test (even)")
+    vp.add_argument("--intensities", type=float, nargs="+",
+                    default=[0.0, 0.05, 0.15],
+                    help="fault intensities for the model sweep")
+    vp.add_argument("--models", nargs="+", default=None,
+                    metavar="NAME", help="fault models (default: all)")
+    vp.add_argument("--victims", type=int, default=12,
+                    help="disjoint victims per threshold rung")
+    vp.add_argument("--requests", type=int, default=None,
+                    help="batch size (default: scheme-sized)")
+    vp.add_argument("--seed", type=int, default=0)
+    vp.add_argument(
+        "--out", metavar="DIR",
+        default=os.path.join("benchmarks", "results"),
+        help="report directory ('-' to skip writing)",
+    )
+
+    vp = fsub.add_parser(
+        "report", help="re-render a stored campaign report"
+    )
+    vp.add_argument(
+        "--dir", metavar="DIR",
+        default=os.path.join("benchmarks", "results"),
+        help="directory holding faults_campaign.json",
+    )
 
     sp = sub.add_parser("verify", help="run the instance self-checks")
     add_qn(sp)
@@ -374,6 +418,53 @@ def _cmd_perf(args) -> int:
     }[args.verb](args)
 
 
+def _faults_campaign(args) -> int:
+    from repro.faults.campaign import run_campaign, render_markdown, write_report
+    from repro.faults.models import make_model
+
+    models = (
+        [make_model(name) for name in args.models]
+        if args.models is not None
+        else None
+    )
+    result = run_campaign(
+        qs=tuple(args.qs),
+        intensities=tuple(args.intensities),
+        models=models,
+        n_victims=args.victims,
+        n_requests=args.requests,
+        seed=args.seed,
+    )
+    print(render_markdown(result))
+    if args.out != "-":
+        md_path, json_path = write_report(result, args.out)
+        print(f"report -> {md_path}, {json_path}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+def _faults_report(args) -> int:
+    import json
+
+    from repro.faults.campaign import (
+        REPORT_BASENAME,
+        CampaignResult,
+        render_markdown,
+    )
+
+    path = os.path.join(args.dir, REPORT_BASENAME + ".json")
+    with open(path) as fh:
+        result = CampaignResult.from_dict(json.load(fh))
+    print(render_markdown(result))
+    return 0 if result.ok else 1
+
+
+def _cmd_faults(args) -> int:
+    return {
+        "campaign": _faults_campaign,
+        "report": _faults_report,
+    }[args.verb](args)
+
+
 def _cmd_sweep(args) -> int:
     t = Table(
         ["n", "N", "Phi", "bound shape", "total iterations"],
@@ -425,6 +516,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "profile": _cmd_profile,
     "perf": _cmd_perf,
+    "faults": _cmd_faults,
     "sweep": _cmd_sweep,
     "expansion": _cmd_expansion,
     "verify": _cmd_verify,

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 import repro.obs as _obs
+from repro.faults.report import DEGRADED, LOST, FaultReport
 from repro.mpc.machine import MPC
 from repro.mpc.memory import SharedCopyStore
 from repro.mpc.stats import MPCStats
@@ -70,6 +71,9 @@ class AccessResult:
     #: request positions that could not reach their quorum because too
     #: many of their copies sit in failed modules (empty when healthy)
     unsatisfiable: np.ndarray | None = None
+    #: per-variable satisfied/degraded/lost classification; populated
+    #: only when the run had faults injected (None on the healthy path)
+    fault_report: FaultReport | None = None
 
     @property
     def iterations_per_phase(self) -> list[int]:
@@ -116,6 +120,8 @@ def run_access_protocol(
     n_phases: int | None = None,
     failed_modules: np.ndarray | None = None,
     allow_partial: bool = False,
+    grey_modules: np.ndarray | None = None,
+    retry_limit: int | None = None,
 ) -> AccessResult:
     """Run the q+1-phase majority protocol for one batch of requests.
 
@@ -150,15 +156,29 @@ def run_access_protocol(
         ``V`` variables live at once -- used by the recurrence-(2)
         experiments, which need a controlled ``R_0``.
     failed_modules:
-        Module ids that never serve (fault injection).  A variable
-        remains satisfiable while >= ``majority`` of its copies live in
-        healthy modules -- the fault tolerance the majority discipline
-        inherits from [Tho79].
+        Module ids that never serve (fault injection).  Ids must be
+        unique and in ``[0, n_modules)`` -- out-of-range or duplicate
+        ids raise :class:`ValueError` at this boundary instead of
+        flowing silently into the masks.  A variable remains
+        satisfiable while >= ``majority`` of its copies live in healthy
+        modules -- the fault tolerance the majority discipline inherits
+        from [Tho79].
     allow_partial:
         When some variable cannot reach its quorum (too many failed
-        copies): raise :class:`ValueError` if False (default), else
-        finish the others and report the casualties in
-        ``result.unsatisfiable`` (their read values stay -1).
+        copies, or the ``retry_limit`` ran out): raise
+        :class:`ValueError` if False (default), else finish the others
+        and report the casualties in ``result.unsatisfiable`` (their
+        read values stay -1).
+    grey_modules:
+        ``(n_modules,)`` serve periods for grey ("slow") modules: a
+        module with period ``j >= 2`` answers only every j-th iteration
+        of a phase; period 1 is healthy.  Nothing dies -- affected
+        variables pay extra iterations, accounted as *degraded* in the
+        run's :class:`~repro.faults.report.FaultReport`.
+    retry_limit:
+        Bounded retry: a variable still unsatisfied after this many
+        iterations of its phase is declared *lost* (reported via
+        ``allow_partial`` semantics) instead of being retried forever.
 
     Returns
     -------
@@ -196,9 +216,18 @@ def run_access_protocol(
     # Fault injection: copies in failed modules are permanently dead.
     dead_copy = None
     unsatisfiable = None
+    failed_arr = None
     if failed_modules is not None and len(failed_modules) > 0:
+        failed_arr = np.asarray(failed_modules, dtype=np.int64).reshape(-1)
+        if np.any((failed_arr < 0) | (failed_arr >= n_modules)):
+            raise ValueError(
+                f"failed_modules ids must be in [0, {n_modules}); got "
+                f"values outside the module pool"
+            )
+        if np.unique(failed_arr).size != failed_arr.size:
+            raise ValueError("failed_modules contains duplicate module ids")
         failed_mask = np.zeros(n_modules, dtype=bool)
-        failed_mask[np.asarray(failed_modules, dtype=np.int64)] = True
+        failed_mask[failed_arr] = True
         dead_copy = failed_mask[module_ids]  # (V, copies)
         alive_per_var = copies - dead_copy.sum(axis=1)
         doomed = alive_per_var < majority
@@ -210,6 +239,29 @@ def run_access_protocol(
                     f"allow_partial=True to proceed without them"
                 )
             unsatisfiable = np.nonzero(doomed)[0].astype(np.int64)
+
+    # Grey (slow) modules: serve-period array, normalized to None when
+    # every period is 1 so the trivial case keeps the healthy hot path.
+    grey = None
+    if grey_modules is not None:
+        grey = np.asarray(grey_modules, dtype=np.int64).reshape(-1)
+        if grey.shape != (n_modules,):
+            raise ValueError(
+                f"grey_modules must have shape ({n_modules},), one serve "
+                f"period per module"
+            )
+        if np.any(grey < 1):
+            raise ValueError("grey_modules periods must be >= 1")
+        if np.all(grey <= 1):
+            grey = None
+    if retry_limit is not None and retry_limit < 1:
+        raise ValueError("retry_limit must be >= 1")
+
+    # Degraded-mode bookkeeping, allocated only when faults are active.
+    faults_on = dead_copy is not None or grey is not None
+    track = faults_on or retry_limit is not None
+    out_lost = np.zeros(V, dtype=bool) if track else None
+    out_sat = np.full(V, -1, dtype=np.int64) if track else None
 
     phase_count = copies if n_phases is None else n_phases
     if phase_count < 1:
@@ -241,6 +293,11 @@ def run_access_protocol(
                     collect_history,
                     max_iterations,
                     dead_copy,
+                    grey,
+                    retry_limit,
+                    allow_partial,
+                    out_lost,
+                    out_sat,
                 )
                 ph_span.add(
                     iterations=trace.iterations,
@@ -248,6 +305,15 @@ def run_access_protocol(
                 )
             phases.append(trace)
         acc_span.add(total_iterations=sum(p.iterations for p in phases))
+    fault_report = None
+    if track:
+        lost_idx = np.nonzero(out_lost)[0].astype(np.int64)
+        unsatisfiable = lost_idx if lost_idx.size else None
+        if faults_on:
+            fault_report = _build_fault_report(
+                module_ids, dead_copy, grey, failed_arr, out_lost, out_sat,
+                retry_limit,
+            )
     if obs_on and _obs.metrics_enabled():
         m = _obs.metrics()
         m.counter("protocol.accesses", op=op).inc()
@@ -258,6 +324,8 @@ def run_access_protocol(
         m.timer("protocol.access_seconds", op=op).observe(
             _time.perf_counter() - t_start
         )
+        if unsatisfiable is not None:
+            m.counter("protocol.lost_variables").inc(int(unsatisfiable.size))
 
     return AccessResult(
         op=op,
@@ -267,6 +335,55 @@ def run_access_protocol(
         values=out_values,
         mpc_stats=mpc.stats,
         unsatisfiable=unsatisfiable,
+        fault_report=fault_report,
+    )
+
+
+def _build_fault_report(
+    module_ids: np.ndarray,
+    dead_copy: np.ndarray | None,
+    grey: np.ndarray | None,
+    failed_arr: np.ndarray | None,
+    lost: np.ndarray,
+    sat_iter: np.ndarray,
+    retry_limit: int | None,
+) -> FaultReport:
+    """Classify every variable of a faulty run (satisfied/degraded/lost)
+    and collect the faulty modules implicated in the damage."""
+    V = module_ids.shape[0]
+    dead_counts = (
+        dead_copy.sum(axis=1).astype(np.int64)
+        if dead_copy is not None
+        else np.zeros(V, dtype=np.int64)
+    )
+    grey_counts = (
+        (grey[module_ids] > 1).sum(axis=1).astype(np.int64)
+        if grey is not None
+        else np.zeros(V, dtype=np.int64)
+    )
+    outcomes = np.zeros(V, dtype=np.int8)
+    affected = (dead_counts > 0) | (grey_counts > 0)
+    outcomes[affected] = DEGRADED
+    outcomes[lost] = LOST
+    touched = module_ids[affected | lost]
+    implicated: list[np.ndarray] = []
+    if failed_arr is not None and touched.size:
+        implicated.append(np.intersect1d(touched, failed_arr))
+    if grey is not None and touched.size:
+        grey_ids = np.nonzero(grey > 1)[0]
+        implicated.append(np.intersect1d(touched, grey_ids))
+    modules = (
+        np.unique(np.concatenate(implicated)).astype(np.int64)
+        if implicated
+        else np.empty(0, dtype=np.int64)
+    )
+    return FaultReport(
+        outcomes=outcomes,
+        dead_copies=dead_counts,
+        grey_copies=grey_counts,
+        satisfied_at=sat_iter,
+        implicated_modules=modules,
+        retry_limit=retry_limit,
     )
 
 
@@ -284,9 +401,15 @@ def _run_phase(
     collect_history: bool,
     max_iterations: int,
     dead_copy: np.ndarray | None = None,
+    grey: np.ndarray | None = None,
+    retry_limit: int | None = None,
+    allow_partial: bool = False,
+    out_lost: np.ndarray | None = None,
+    out_sat: np.ndarray | None = None,
 ) -> PhaseTrace:
     """One phase: iterate until every variable of the phase is satisfied
-    (or unsatisfiable because its live copies cannot reach the quorum)."""
+    (or unsatisfiable because its live copies cannot reach the quorum,
+    or the bounded retry budget runs out)."""
     P = phase_vars.shape[0]
     copies = module_ids.shape[1]
     history = [P] if collect_history else []
@@ -306,6 +429,9 @@ def _run_phase(
         # resolved up front so the phase can end (caller reports them).
         doomed = (copies - dead.sum(axis=1)) < majority
         satisfied |= doomed
+    # lost grows past the upfront doomed set only on retry exhaustion
+    lost = doomed if retry_limit is None else doomed.copy()
+    sat_local = np.full(P, -1, dtype=np.int64) if out_sat is not None else None
     # Read bookkeeping: freshest (stamp, value) packed into one int64.
     best_packed = np.full(P, -1, dtype=np.int64) if op == "read" else None
 
@@ -319,9 +445,31 @@ def _run_phase(
     while not np.all(satisfied):
         if iterations >= max_iterations:  # pragma: no cover
             raise RuntimeError("protocol exceeded max_iterations")
+        if retry_limit is not None and iterations >= retry_limit:
+            # Bounded retry exhausted: declare the stragglers lost so
+            # the phase terminates instead of spinning on them.
+            still = ~satisfied
+            if not allow_partial:
+                raise ValueError(
+                    f"{int(still.sum())} variables did not reach quorum "
+                    f"{majority} within retry_limit={retry_limit} "
+                    f"iterations; pass allow_partial=True to proceed "
+                    f"without them"
+                )
+            lost |= still
+            satisfied |= still
+            break
         active = (~accessed.reshape(-1)) & (~satisfied[task_var])
         idx_active = np.nonzero(active)[0]
-        winners_local = mpc.step(task_mod[idx_active])
+        if grey is None:
+            winners_local = mpc.step(task_mod[idx_active])
+        else:
+            # a grey module with period j answers only on iterations
+            # where (iteration + 1) % j == 0 (healthy period-1 modules
+            # always answer)
+            winners_local = mpc.step(
+                task_mod[idx_active], blocked=((iterations + 1) % grey) != 0
+            )
         win = idx_active[winners_local]
         # mark copies accessed
         accessed[task_var[win], task_copy[win]] = True
@@ -334,12 +482,19 @@ def _run_phase(
             vals, stamps = store.read(task_mod[win], task_slot[win])
             packed = np.where(stamps < 0, np.int64(-1), (stamps << 32) | vals)
             np.maximum.at(best_packed, task_var[win], packed)
-        satisfied = doomed | (hit_count >= majority)
+        satisfied = lost | (hit_count >= majority)
         iterations += 1
+        if sat_local is not None:
+            newly = satisfied & (sat_local < 0) & ~lost
+            sat_local[newly] = iterations
         if collect_history:
             history.append(int(np.count_nonzero(~satisfied)))
 
     if op == "read":
         read_vals = np.where(best_packed < 0, np.int64(-1), best_packed & 0xFFFFFFFF)
         out_values[phase_vars] = read_vals
+    if out_lost is not None:
+        out_lost[phase_vars] = lost
+    if out_sat is not None:
+        out_sat[phase_vars] = sat_local
     return PhaseTrace(iterations=iterations, live_history=history)

@@ -247,12 +247,15 @@ class PPScheme:
         collect_history: bool = True,
         failed_modules: np.ndarray | None = None,
         allow_partial: bool = False,
+        grey_modules: np.ndarray | None = None,
+        retry_limit: int | None = None,
     ) -> AccessResult:
         """Run the Section-3 protocol for a batch of distinct variables.
 
         ``op='count'`` needs no store; ``'read'``/``'write'`` thread the
         physical slots through to the timestamped cells.
-        ``failed_modules`` injects module faults (see
+        ``failed_modules``/``grey_modules``/``retry_limit`` inject
+        module faults and bound the degraded-mode retries (see
         :func:`~repro.core.protocol.run_access_protocol`).
         """
         indices = np.asarray(indices, dtype=np.int64)
@@ -277,6 +280,8 @@ class PPScheme:
             collect_history=collect_history,
             failed_modules=failed_modules,
             allow_partial=allow_partial,
+            grey_modules=grey_modules,
+            retry_limit=retry_limit,
         )
 
     def write(

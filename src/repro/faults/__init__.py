@@ -1,0 +1,100 @@
+"""Fault injection: adversarial models, degraded-mode reports, campaigns.
+
+The paper's majority-quorum discipline (``q + 1`` copies, quorum
+``q/2 + 1``) tolerates exactly ``q/2`` unavailable or stale copies per
+variable.  This package turns that claim into testable machinery:
+
+* :mod:`repro.faults.models` -- fault models over the copy map
+  ``G(V, U; E)``: random/transient crashes, targeted exact-``k`` copy
+  kills, grey (slow) modules, stale-timestamp copies.
+* :mod:`repro.faults.report` -- the degraded-mode vocabulary the
+  protocol reports with: per-variable satisfied/degraded/lost outcomes
+  (:class:`FaultReport`) and :class:`QuorumLostError`.
+* :mod:`repro.faults.campaign` -- the campaign runner sweeping fault
+  intensity and pinning the sharp q/2 threshold (``repro faults
+  campaign`` CLI); imported lazily because it pulls in the scheme
+  layer.
+
+``FaultSchedule`` (evolving failures with exact repair lag) is
+re-exported from :mod:`repro.mpc.faults` for convenience.
+"""
+
+from __future__ import annotations
+
+from repro.faults.models import (
+    MODEL_NAMES,
+    FaultContext,
+    FaultModel,
+    FaultPlan,
+    GreyModules,
+    RandomCrashes,
+    StaleCopies,
+    TargetedAttack,
+    default_models,
+    disjoint_victims,
+    make_model,
+)
+from repro.faults.report import (
+    DEGRADED,
+    LOST,
+    OUTCOME_NAMES,
+    SATISFIED,
+    FaultReport,
+    QuorumLostError,
+)
+from repro.mpc.faults import FaultSchedule
+
+__all__ = [
+    "FaultContext",
+    "FaultPlan",
+    "FaultModel",
+    "RandomCrashes",
+    "TargetedAttack",
+    "GreyModules",
+    "StaleCopies",
+    "FaultSchedule",
+    "disjoint_victims",
+    "default_models",
+    "make_model",
+    "MODEL_NAMES",
+    "FaultReport",
+    "QuorumLostError",
+    "SATISFIED",
+    "DEGRADED",
+    "LOST",
+    "OUTCOME_NAMES",
+    # lazy campaign surface
+    "CampaignResult",
+    "ThresholdRow",
+    "ScenarioRow",
+    "harness_for_q",
+    "threshold_experiment",
+    "run_campaign",
+    "render_markdown",
+    "write_report",
+]
+
+#: campaign symbols resolved lazily (campaign imports the scheme layer,
+#: which imports the protocol, which imports repro.faults.report -- the
+#: lazy hop keeps that chain acyclic)
+_CAMPAIGN_SYMBOLS = frozenset(
+    {
+        "CampaignResult",
+        "ThresholdRow",
+        "ScenarioRow",
+        "harness_for_q",
+        "threshold_experiment",
+        "run_campaign",
+        "render_markdown",
+        "write_report",
+    }
+)
+
+
+def __getattr__(name: str):
+    """Lazy re-export of the campaign module's public surface."""
+    if name in _CAMPAIGN_SYMBOLS:
+        from repro.faults import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

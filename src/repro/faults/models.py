@@ -1,0 +1,385 @@
+"""Adversarial fault models over the copy map ``G(V, U; E)``.
+
+Beyond the random module crashes of
+:class:`~repro.mpc.faults.FaultSchedule`, this library packages the
+attacks the paper's expansion argument is actually about: an adversary
+that *sees* the copy map and kills exactly ``k`` copies of chosen
+variables, modules that go grey (answer only every j-th iteration), and
+Byzantine-lite copies that serve stale timestamps.  Every model turns an
+``intensity`` knob into a :class:`FaultPlan` -- a declarative bundle of
+failed modules, grey periods, and stale copies that the campaign runner
+feeds to the protocol and the store.
+
+All models are pure functions of ``(context, intensity, seed)``: the
+same arguments always produce the same plan, so campaigns are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mpc.faults import FaultSchedule
+
+__all__ = [
+    "FaultContext",
+    "FaultPlan",
+    "FaultModel",
+    "RandomCrashes",
+    "TargetedAttack",
+    "GreyModules",
+    "StaleCopies",
+    "disjoint_victims",
+    "default_models",
+    "make_model",
+    "MODEL_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class FaultContext:
+    """What a fault model is allowed to see: the machine size and the
+    copy map (and, for stale-copy attacks, the physical slots)."""
+
+    #: module count N of the machine
+    n_modules: int
+    #: (V, r) module ids of every copy of every requested variable
+    module_ids: np.ndarray
+    #: copies an access must reach (``q/2 + 1``)
+    majority: int
+    #: (V, r) physical slots matching ``module_ids`` (stale attacks only)
+    slots: np.ndarray | None = None
+
+    @property
+    def n_variables(self) -> int:
+        """Number of requested variables V."""
+        return int(self.module_ids.shape[0])
+
+    @property
+    def copies(self) -> int:
+        """Copies per variable r = q + 1."""
+        return int(self.module_ids.shape[1])
+
+    @property
+    def tolerance(self) -> int:
+        """The paper's break-even: ``r - majority`` = q/2 copies may die."""
+        return self.copies - self.majority
+
+
+@dataclass
+class FaultPlan:
+    """Declarative fault bundle a model produced for one access batch."""
+
+    #: unique sorted module ids that never serve
+    failed_modules: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: (N,) serve periods (1 = healthy, j >= 2 = answers every j-th
+    #: iteration) or None when no module is grey
+    grey_periods: np.ndarray | None = None
+    #: (rows, cols) copy coordinates into the batch's (V, r) copy map
+    #: that must be rolled back to stale values, or None
+    stale: tuple[np.ndarray, np.ndarray] | None = None
+    #: victim row -> int64 array of copy columns the model targeted
+    targeted: dict[int, np.ndarray] | None = None
+
+    @property
+    def empty(self) -> bool:
+        """True iff the plan injects nothing (the intensity-0 plan)."""
+        return (
+            self.failed_modules.size == 0
+            and self.grey_periods is None
+            and self.stale is None
+        )
+
+    def access_kwargs(self) -> dict:
+        """Protocol kwargs realizing the dead/grey part of the plan.
+
+        Empty plans return ``{}`` so the caller hits the exact fault-free
+        code path (the differential tests pin this down bit-for-bit).
+        """
+        kw: dict = {}
+        if self.failed_modules.size:
+            kw["failed_modules"] = self.failed_modules
+            kw["allow_partial"] = True
+        if self.grey_periods is not None:
+            kw["grey_modules"] = self.grey_periods
+        return kw
+
+    def dead_copy_counts(self, module_ids: np.ndarray) -> np.ndarray:
+        """(V,) copies of each variable living in failed modules."""
+        if not self.failed_modules.size:
+            return np.zeros(module_ids.shape[0], dtype=np.int64)
+        return np.isin(module_ids, self.failed_modules).sum(axis=1).astype(np.int64)
+
+    def stale_copy_counts(self, n_variables: int) -> np.ndarray:
+        """(V,) copies of each variable marked stale by the plan."""
+        out = np.zeros(n_variables, dtype=np.int64)
+        if self.stale is not None:
+            np.add.at(out, self.stale[0], 1)
+        return out
+
+
+def disjoint_victims(module_ids: np.ndarray, want: int) -> np.ndarray:
+    """Greedily pick up to ``want`` variables whose copy-module sets are
+    pairwise disjoint, so killing one victim's modules has zero
+    collateral on the others (exact-``k`` attacks stay exact)."""
+    used: set[int] = set()
+    victims: list[int] = []
+    for v in range(module_ids.shape[0]):
+        row = module_ids[v]
+        if any(int(m) in used for m in row):
+            continue
+        victims.append(v)
+        used.update(int(m) for m in row)
+        if len(victims) >= want:
+            break
+    return np.asarray(victims, dtype=np.int64)
+
+
+class FaultModel:
+    """Base interface: turn an intensity into a :class:`FaultPlan`."""
+
+    #: registry / display name
+    name = "abstract"
+
+    def plan(self, ctx: FaultContext, intensity: float, seed: int = 0) -> FaultPlan:
+        """Produce the fault plan for one batch; deterministic in
+        ``(ctx, intensity, seed)``.  Intensity 0 must return an empty
+        plan."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_intensity(intensity: float) -> float:
+        """Validate the shared [0, 1] intensity knob."""
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError(f"intensity must be in [0, 1], got {intensity}")
+        return float(intensity)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class RandomCrashes(FaultModel):
+    """Uniform random module crashes, permanent or transient.
+
+    ``intensity`` is the fraction of the module pool taken down.  With
+    ``repair_lag=0`` the crash set is permanent for the batch; a positive
+    lag models transient crashes and is exposed through
+    :meth:`schedule`, which drives multi-step availability runs with the
+    exact-repair :class:`~repro.mpc.faults.FaultSchedule`.
+    """
+
+    name = "crash"
+
+    def __init__(self, repair_lag: int = 0):
+        if repair_lag < 0:
+            raise ValueError("repair_lag must be >= 0")
+        self.repair_lag = repair_lag
+        if repair_lag:
+            self.name = "transient-crash"
+
+    def plan(self, ctx: FaultContext, intensity: float, seed: int = 0) -> FaultPlan:
+        """Kill ``floor(intensity * N)`` uniformly chosen modules."""
+        intensity = self._check_intensity(intensity)
+        k = int(intensity * ctx.n_modules)
+        if k == 0:
+            return FaultPlan()
+        rng = np.random.default_rng(seed)
+        failed = np.sort(rng.choice(ctx.n_modules, size=k, replace=False))
+        return FaultPlan(failed_modules=failed.astype(np.int64))
+
+    def schedule(
+        self, n_modules: int, intensity: float, seed: int = 0
+    ) -> FaultSchedule:
+        """An evolving failure/repair schedule at per-step rate
+        ``intensity`` (transient models repair after ``repair_lag``)."""
+        return FaultSchedule(
+            n_modules,
+            self._check_intensity(intensity),
+            repair_lag=self.repair_lag,
+            seed=seed,
+        )
+
+
+class TargetedAttack(FaultModel):
+    """Adversary with the copy map: kill exactly ``k`` copies of chosen
+    victim variables by failing the modules that host those copies.
+
+    Victims default to a greedily chosen pairwise-disjoint set (see
+    :func:`disjoint_victims`) so the per-victim kill count is *exactly*
+    ``copies_per_victim`` with no collateral between victims; pass an
+    explicit ``victims`` array to attack specific variables instead.
+    ``intensity`` scales the number of auto-chosen victims (fraction of
+    the request batch, at least one victim when intensity > 0).
+    """
+
+    name = "targeted"
+
+    def __init__(
+        self, copies_per_victim: int = 1, victims: np.ndarray | None = None
+    ):
+        if copies_per_victim < 0:
+            raise ValueError("copies_per_victim must be >= 0")
+        self.copies_per_victim = copies_per_victim
+        self.victims = (
+            np.asarray(victims, dtype=np.int64) if victims is not None else None
+        )
+
+    def plan(self, ctx: FaultContext, intensity: float, seed: int = 0) -> FaultPlan:
+        """Fail exactly the modules of ``copies_per_victim`` seeded-chosen
+        copies of each victim."""
+        intensity = self._check_intensity(intensity)
+        k = min(self.copies_per_victim, ctx.copies)
+        if intensity == 0.0 or k == 0:
+            return FaultPlan()
+        if self.victims is not None:
+            victims = self.victims
+        else:
+            want = max(1, int(intensity * ctx.n_variables))
+            victims = disjoint_victims(ctx.module_ids, want)
+        if np.any((victims < 0) | (victims >= ctx.n_variables)):
+            raise ValueError("victim index out of range")
+        rng = np.random.default_rng(seed)
+        targeted: dict[int, np.ndarray] = {}
+        mods: list[np.ndarray] = []
+        for v in victims:
+            cols = np.sort(rng.choice(ctx.copies, size=k, replace=False))
+            targeted[int(v)] = cols.astype(np.int64)
+            mods.append(ctx.module_ids[int(v), cols])
+        failed = np.unique(np.concatenate(mods)).astype(np.int64)
+        return FaultPlan(failed_modules=failed, targeted=targeted)
+
+
+class GreyModules(FaultModel):
+    """Slow ("grey") modules that answer only every j-th iteration.
+
+    Nothing dies: affected variables stay satisfiable and eventually
+    reach quorum, paying extra iterations -- the degraded outcome the
+    :class:`~repro.faults.report.FaultReport` accounts for.
+    ``intensity`` is the fraction of modules slowed to ``period``.
+    """
+
+    name = "grey"
+
+    def __init__(self, period: int = 3):
+        if period < 2:
+            raise ValueError("grey period must be >= 2")
+        self.period = period
+
+    def plan(self, ctx: FaultContext, intensity: float, seed: int = 0) -> FaultPlan:
+        """Slow ``floor(intensity * N)`` seeded-chosen modules."""
+        intensity = self._check_intensity(intensity)
+        k = int(intensity * ctx.n_modules)
+        if k == 0:
+            return FaultPlan()
+        rng = np.random.default_rng(seed)
+        grey = rng.choice(ctx.n_modules, size=k, replace=False)
+        periods = np.ones(ctx.n_modules, dtype=np.int64)
+        periods[grey] = self.period
+        return FaultPlan(grey_periods=periods)
+
+
+class StaleCopies(FaultModel):
+    """Byzantine-lite copies that serve old values with old timestamps.
+
+    Marks exactly ``copies_per_victim`` copies of each victim variable
+    stale; :meth:`apply` realizes the plan by rolling the chosen cells
+    of a store back to an earlier (value, timestamp).  Reads stay
+    correct while stale copies per variable <= q/2, because every read
+    quorum of ``q/2 + 1`` then still intersects the fresh set -- the
+    same intersection argument as for crashes.
+    """
+
+    name = "stale"
+
+    def __init__(
+        self, copies_per_victim: int = 1, victims: np.ndarray | None = None
+    ):
+        if copies_per_victim < 0:
+            raise ValueError("copies_per_victim must be >= 0")
+        self.copies_per_victim = copies_per_victim
+        self.victims = (
+            np.asarray(victims, dtype=np.int64) if victims is not None else None
+        )
+
+    def plan(self, ctx: FaultContext, intensity: float, seed: int = 0) -> FaultPlan:
+        """Mark ``copies_per_victim`` seeded copies of each victim stale."""
+        intensity = self._check_intensity(intensity)
+        k = min(self.copies_per_victim, ctx.copies)
+        if intensity == 0.0 or k == 0:
+            return FaultPlan()
+        if self.victims is not None:
+            victims = self.victims
+        else:
+            want = max(1, int(intensity * ctx.n_variables))
+            victims = disjoint_victims(ctx.module_ids, want)
+        rng = np.random.default_rng(seed)
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        for v in victims:
+            c = np.sort(rng.choice(ctx.copies, size=k, replace=False))
+            rows.append(np.full(k, int(v), dtype=np.int64))
+            cols.append(c.astype(np.int64))
+        return FaultPlan(
+            stale=(np.concatenate(rows), np.concatenate(cols))
+        )
+
+    @staticmethod
+    def apply(
+        plan: FaultPlan,
+        store,
+        ctx: FaultContext,
+        old_values: np.ndarray,
+        old_time: int,
+    ) -> int:
+        """Roll the plan's stale cells back to ``(old_values, old_time)``.
+
+        ``old_values`` is per-variable (aligned with the batch); returns
+        the number of cells rolled back.  Requires ``ctx.slots``.
+        """
+        if plan.stale is None:
+            return 0
+        if ctx.slots is None:
+            raise ValueError("stale application needs ctx.slots")
+        rows, cols = plan.stale
+        store.write(
+            ctx.module_ids[rows, cols],
+            ctx.slots[rows, cols],
+            np.asarray(old_values, dtype=np.int64)[rows],
+            old_time,
+        )
+        return int(rows.size)
+
+
+#: registry names accepted by :func:`make_model` and the CLI
+MODEL_NAMES = ("crash", "transient-crash", "targeted", "grey", "stale")
+
+
+def make_model(name: str, **kwargs) -> FaultModel:
+    """Build a model from its registry name (CLI surface)."""
+    if name == "crash":
+        return RandomCrashes(**kwargs)
+    if name == "transient-crash":
+        kwargs.setdefault("repair_lag", 3)
+        return RandomCrashes(**kwargs)
+    if name == "targeted":
+        return TargetedAttack(**kwargs)
+    if name == "grey":
+        return GreyModules(**kwargs)
+    if name == "stale":
+        return StaleCopies(**kwargs)
+    raise ValueError(f"unknown fault model {name!r} (one of {MODEL_NAMES})")
+
+
+def default_models() -> list[FaultModel]:
+    """One instance of every model family, campaign defaults."""
+    return [
+        RandomCrashes(),
+        RandomCrashes(repair_lag=3),
+        TargetedAttack(copies_per_victim=1),
+        GreyModules(period=3),
+        StaleCopies(copies_per_victim=1),
+    ]

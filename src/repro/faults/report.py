@@ -1,0 +1,162 @@
+"""Degraded-mode vocabulary: per-variable fault outcomes of an access.
+
+When an access runs with faults injected (failed modules, grey modules,
+bounded retry), the protocol classifies every requested variable:
+
+* **satisfied** -- quorum reached, no copy of the variable was affected;
+* **degraded**  -- quorum reached, but at least one copy sat in a failed
+  or grey module (the variable survived on its remaining copies);
+* **lost**      -- the quorum ``q/2 + 1`` was unreachable (too many dead
+  copies, or the bounded retry budget ran out), the paper's break-even
+  point at ``q/2 + 1`` unavailable copies.
+
+The classification ships as a :class:`FaultReport` on
+:class:`~repro.core.protocol.AccessResult.fault_report`; layers that
+cannot tolerate partial answers (the kvstore's hash probing, where a
+missing cell is indistinguishable from an empty one) raise
+:class:`QuorumLostError` instead of returning silently wrong data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "SATISFIED",
+    "DEGRADED",
+    "LOST",
+    "OUTCOME_NAMES",
+    "FaultReport",
+    "QuorumLostError",
+]
+
+#: outcome code: quorum reached with no fault-affected copy
+SATISFIED = 0
+#: outcome code: quorum reached despite dead/grey copies
+DEGRADED = 1
+#: outcome code: quorum unreachable (reported, never looped on)
+LOST = 2
+
+#: printable names indexed by outcome code
+OUTCOME_NAMES = ("satisfied", "degraded", "lost")
+
+
+class QuorumLostError(RuntimeError):
+    """Raised by layers that must not serve partial results when some
+    variable's majority quorum is unreachable under the injected faults.
+
+    Attributes
+    ----------
+    variables:
+        int64 array of the shared-variable ids that lost their quorum.
+    modules:
+        int64 array of the module ids implicated in the loss.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        variables: np.ndarray | None = None,
+        modules: np.ndarray | None = None,
+    ):
+        super().__init__(message)
+        self.variables = (
+            np.asarray(variables, dtype=np.int64)
+            if variables is not None
+            else np.empty(0, dtype=np.int64)
+        )
+        self.modules = (
+            np.asarray(modules, dtype=np.int64)
+            if modules is not None
+            else np.empty(0, dtype=np.int64)
+        )
+
+
+@dataclass
+class FaultReport:
+    """Per-variable outcome of one access run under injected faults.
+
+    Arrays are aligned with the request batch (position ``i`` describes
+    the i-th requested variable).
+    """
+
+    #: (V,) int8 of SATISFIED / DEGRADED / LOST codes
+    outcomes: np.ndarray
+    #: (V,) number of copies sitting in failed (never-serving) modules
+    dead_copies: np.ndarray
+    #: (V,) number of copies sitting in grey (slow-serving) modules
+    grey_copies: np.ndarray
+    #: (V,) 1-based phase iteration at which the quorum was reached
+    #: (-1 for lost variables)
+    satisfied_at: np.ndarray
+    #: sorted unique ids of the faulty modules that host copies of any
+    #: degraded or lost variable
+    implicated_modules: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: the bounded-retry budget the run was given (None = unbounded)
+    retry_limit: int | None = None
+    #: iteration overhead vs a fault-free twin run (set by callers that
+    #: ran one, e.g. the campaign; None when no baseline was measured)
+    extra_iterations: int | None = None
+
+    @property
+    def n_satisfied(self) -> int:
+        """Variables that reached quorum untouched by any fault."""
+        return int(np.count_nonzero(self.outcomes == SATISFIED))
+
+    @property
+    def n_degraded(self) -> int:
+        """Variables that reached quorum on their surviving copies."""
+        return int(np.count_nonzero(self.outcomes == DEGRADED))
+
+    @property
+    def n_lost(self) -> int:
+        """Variables whose quorum was unreachable."""
+        return int(np.count_nonzero(self.outcomes == LOST))
+
+    @property
+    def lost_variables(self) -> np.ndarray:
+        """Batch positions of the lost variables."""
+        return np.nonzero(self.outcomes == LOST)[0].astype(np.int64)
+
+    @property
+    def degraded_variables(self) -> np.ndarray:
+        """Batch positions of the degraded variables."""
+        return np.nonzero(self.outcomes == DEGRADED)[0].astype(np.int64)
+
+    @property
+    def ok(self) -> bool:
+        """True iff every variable reached its quorum."""
+        return self.n_lost == 0
+
+    def with_baseline(self, baseline_total_iterations: int, total_iterations: int) -> "FaultReport":
+        """Record the iteration overhead against a fault-free twin run."""
+        self.extra_iterations = int(total_iterations) - int(baseline_total_iterations)
+        return self
+
+    def summary(self) -> dict:
+        """Compact dict for tables / JSON reports."""
+        return {
+            "satisfied": self.n_satisfied,
+            "degraded": self.n_degraded,
+            "lost": self.n_lost,
+            "implicated_modules": int(self.implicated_modules.size),
+            "retry_limit": self.retry_limit,
+            "extra_iterations": self.extra_iterations,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable summary."""
+        extra = (
+            f", +{self.extra_iterations} iterations"
+            if self.extra_iterations is not None
+            else ""
+        )
+        return (
+            f"{self.n_satisfied} satisfied / {self.n_degraded} degraded / "
+            f"{self.n_lost} lost across {self.outcomes.size} variables "
+            f"({self.implicated_modules.size} modules implicated{extra})"
+        )

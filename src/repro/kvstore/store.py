@@ -19,6 +19,7 @@ import hashlib
 import numpy as np
 
 import repro.obs as _obs
+from repro.faults.report import QuorumLostError
 from repro.schemes.base import MemoryScheme
 
 __all__ = ["ParallelKVStore", "TOMBSTONE"]
@@ -39,6 +40,13 @@ class ParallelKVStore:
         ``scheme.M // 2`` slots).
     seed:
         Salt for the key hash.
+    failed_modules:
+        Optional module ids that never serve (fault injection; also
+        settable later via :meth:`set_failed_modules`).  While every
+        table variable keeps >= ``q/2 + 1`` live copies the store works
+        normally; a probe that loses a quorum raises
+        :class:`~repro.faults.report.QuorumLostError` instead of
+        mistaking an unreachable cell for an empty one.
 
     Notes
     -----
@@ -48,7 +56,12 @@ class ParallelKVStore:
     the MPC model does for concurrent same-cell requests.
     """
 
-    def __init__(self, scheme: MemoryScheme, seed: int = 0):
+    def __init__(
+        self,
+        scheme: MemoryScheme,
+        seed: int = 0,
+        failed_modules: np.ndarray | None = None,
+    ):
         if scheme.M < 8:
             raise ValueError("scheme too small to host a table")
         self.scheme = scheme
@@ -59,6 +72,17 @@ class ParallelKVStore:
         self.size = 0
         self.mpc_iterations = 0
         self.protocol_rounds = 0
+        self.failed_modules: np.ndarray | None = None
+        self.set_failed_modules(failed_modules)
+
+    def set_failed_modules(self, failed_modules: np.ndarray | None) -> None:
+        """Install (or clear, with None) the failed-module set applied
+        to every subsequent batch operation."""
+        if failed_modules is None:
+            self.failed_modules = None
+            return
+        arr = np.asarray(failed_modules, dtype=np.int64).reshape(-1)
+        self.failed_modules = arr if arr.size else None
 
     # -- hashing -----------------------------------------------------------
 
@@ -88,10 +112,39 @@ class ParallelKVStore:
         self._time += 1
         return self._time
 
+    def _fault_kwargs(self) -> dict:
+        """Degraded-mode protocol kwargs (empty on the healthy path)."""
+        if self.failed_modules is None:
+            return {}
+        return {"failed_modules": self.failed_modules, "allow_partial": True}
+
+    def _check_quorum(self, op: str, var_ids: np.ndarray, res) -> None:
+        """Raise :class:`QuorumLostError` if any table variable of the
+        batch lost its quorum -- a partial probe answer would be
+        indistinguishable from an empty cell."""
+        if res.unsatisfiable is not None and res.unsatisfiable.size:
+            lost_vars = np.asarray(var_ids)[res.unsatisfiable]
+            modules = (
+                res.fault_report.implicated_modules
+                if res.fault_report is not None
+                else self.failed_modules
+            )
+            raise QuorumLostError(
+                f"kvstore {op} lost the majority quorum for "
+                f"{lost_vars.size} table variable(s) under "
+                f"{0 if self.failed_modules is None else self.failed_modules.size} "
+                f"failed modules",
+                variables=lost_vars,
+                modules=modules,
+            )
+
     def _read_vars(self, var_ids: np.ndarray) -> np.ndarray:
         """One batched majority read of (possibly duplicated) variables."""
         uniq, inverse = np.unique(var_ids, return_inverse=True)
-        res = self.scheme.read(uniq, store=self.store, time=self._tick())
+        res = self.scheme.read(
+            uniq, store=self.store, time=self._tick(), **self._fault_kwargs()
+        )
+        self._check_quorum("read", uniq, res)
         self.mpc_iterations += res.total_iterations
         self.protocol_rounds += 1
         return res.values[inverse]
@@ -99,8 +152,10 @@ class ParallelKVStore:
     def _write_vars(self, var_ids: np.ndarray, values: np.ndarray) -> None:
         """One batched majority write (var_ids must be distinct)."""
         res = self.scheme.write(
-            var_ids, values=values, store=self.store, time=self._tick()
+            var_ids, values=values, store=self.store, time=self._tick(),
+            **self._fault_kwargs(),
         )
+        self._check_quorum("write", var_ids, res)
         self.mpc_iterations += res.total_iterations
         self.protocol_rounds += 1
 

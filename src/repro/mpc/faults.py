@@ -25,7 +25,10 @@ class FaultSchedule:
     failure_rate:
         Expected fraction of *healthy* modules failing per step.
     repair_lag:
-        Steps until a failed module returns (0 disables repair).
+        Steps a failed module stays down -- exact: a module failing at
+        step ``t`` is down for steps ``t .. t + lag - 1`` and healthy
+        again at ``t + lag`` (0 disables repair: failures are
+        permanent).
     seed:
         RNG seed.
     """
@@ -49,9 +52,14 @@ class FaultSchedule:
         self._clock = 0
 
     def step(self) -> np.ndarray:
-        """Advance one step; returns the currently failed module ids."""
+        """Advance one step; returns the currently failed module ids.
+
+        ``_down_until`` is exclusive: a module is down while
+        ``clock < down_until``, so a failure at step ``t`` with lag L is
+        down for exactly the L steps ``t .. t + L - 1``.
+        """
         self._clock += 1
-        healthy = self._down_until < self._clock
+        healthy = self._down_until <= self._clock
         fail_draw = self.rng.random(self.n_modules) < self.failure_rate
         new_failures = healthy & fail_draw
         until = (
@@ -60,7 +68,7 @@ class FaultSchedule:
             else np.iinfo(np.int64).max
         )
         self._down_until[new_failures] = until
-        return np.nonzero(self._down_until >= self._clock)[0]
+        return np.nonzero(self._down_until > self._clock)[0]
 
     @property
     def clock(self) -> int:

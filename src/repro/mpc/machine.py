@@ -53,7 +53,9 @@ class MPC:
         )
         self.stats = MPCStats(keep_history=history)
 
-    def step(self, module_ids: np.ndarray) -> np.ndarray:
+    def step(
+        self, module_ids: np.ndarray, blocked: np.ndarray | None = None
+    ) -> np.ndarray:
         """Execute one synchronous step.
 
         Parameters
@@ -61,6 +63,11 @@ class MPC:
         module_ids:
             int64 array; entry ``i`` is the module addressed by pending
             request ``i`` (processor order).
+        blocked:
+            Optional ``(n_modules,)`` bool mask of modules that receive
+            requests but do not answer this step (grey/slow modules
+            under fault injection).  Blocked requests still count toward
+            congestion -- the module's queue is real, its service isn't.
 
         Returns
         -------
@@ -76,7 +83,24 @@ class MPC:
             return np.empty(0, dtype=np.int64)
         if np.any((module_ids < 0) | (module_ids >= self.n_modules)):
             raise ValueError("request addresses a nonexistent module")
-        winners = self.arbiter(module_ids)
+        if blocked is None:
+            winners = self.arbiter(module_ids)
+        else:
+            blocked = np.asarray(blocked, dtype=bool)
+            if blocked.shape != (self.n_modules,):
+                raise ValueError(
+                    f"blocked mask must have shape ({self.n_modules},)"
+                )
+            idx_open = np.nonzero(~blocked[module_ids])[0]
+            if idx_open.size == 0:
+                # every addressed module is silent: an empty step
+                _, counts = np.unique(module_ids, return_counts=True)
+                congestion = int(counts.max())
+                self.stats.record_step(module_ids.size, 0, congestion)
+                if _obs.enabled():
+                    _obs.on_mpc_step(int(module_ids.size), 0, congestion)
+                return np.empty(0, dtype=np.int64)
+            winners = idx_open[self.arbiter(module_ids[idx_open])]
         # contract check: winners hit distinct modules
         served_mods = module_ids[winners]
         # congestion over the *requested* modules only (O(k log k), not O(N))

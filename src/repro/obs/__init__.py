@@ -39,6 +39,10 @@ in practice well under 1%.
 | ``mpc.max_congestion`` | gauge | high-watermark of same-step module congestion |
 | ``kvstore.ops{op=...}`` | counter | kvstore batch operations (put/get/delete) |
 | ``kvstore.probe_rounds`` | counter | hash-probe protocol rounds |
+| ``protocol.lost_variables`` | counter | variables that lost their majority quorum (degraded mode) |
+| ``faults.scenarios{model=...}`` | counter | campaign scenario runs, labeled by fault model |
+| ``faults.lost`` | counter | quorum losses observed across campaign scenarios |
+| ``faults.violations`` | counter | semantic violations below the q/2 threshold (should stay 0) |
 
 ### Trace event schema
 
@@ -57,6 +61,9 @@ JSONL, one object per line; every record has ``type`` ("span"/"event"),
 | ``kvstore.op`` | event | ``op, keys`` |
 | ``kvstore.probe`` | span | ``batch, rounds`` |
 | ``kvstore.probe_round`` | event | ``round, pending`` |
+| ``faults.campaign`` | span | ``qs, models, violations`` |
+| ``faults.threshold`` | span | ``q`` (one adversarial ladder) |
+| ``faults.scenario`` | span | ``q, model, intensity`` |
 
 ### Overhead guarantees
 

@@ -106,11 +106,18 @@ class MemoryScheme(ABC):
         seed: int = 0,
         collect_history: bool = False,
         count_as: str | None = None,
+        failed_modules: np.ndarray | None = None,
+        allow_partial: bool = False,
+        grey_modules: np.ndarray | None = None,
+        retry_limit: int | None = None,
     ) -> AccessResult:
         """Run the protocol engine for a batch of distinct variables.
 
         ``op='count'`` measures cost without touching cells; pass
-        ``count_as='write'`` to count with the write quorum.
+        ``count_as='write'`` to count with the write quorum.  The fault
+        kwargs (``failed_modules``, ``grey_modules``, ``retry_limit``,
+        ``allow_partial``) inject module faults identically for every
+        scheme -- see :func:`~repro.core.protocol.run_access_protocol`.
         """
         indices = np.asarray(indices, dtype=np.int64)
         if np.unique(indices).size != indices.size:
@@ -133,6 +140,10 @@ class MemoryScheme(ABC):
             arbitration=arbitration,
             seed=seed,
             collect_history=collect_history,
+            failed_modules=failed_modules,
+            allow_partial=allow_partial,
+            grey_modules=grey_modules,
+            retry_limit=retry_limit,
         )
 
     def read(self, indices, store, time: int, **kw) -> AccessResult:

@@ -1,0 +1,1 @@
+"""Tests of the fault-injection subsystem (:mod:`repro.faults`)."""

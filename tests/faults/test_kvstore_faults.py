@@ -1,0 +1,62 @@
+"""Degraded-mode kvstore tests: safety when table variables lose quorum.
+
+The hash table's probing cannot distinguish "cell unreachable" from
+"cell empty", so the store must refuse (raise
+:class:`QuorumLostError`) rather than return silently wrong answers --
+and keep working normally while every table variable retains a
+majority of live copies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.report import QuorumLostError
+from repro.kvstore.store import ParallelKVStore
+from repro.schemes.pp_adapter import PPAdapter
+
+
+@pytest.fixture()
+def kv():
+    return ParallelKVStore(PPAdapter(2, 3), seed=4)
+
+
+class TestToleratedFailures:
+    def test_single_failed_module_is_transparent(self, kv):
+        kv.batch_put(["a", "b", "c"], [1, 2, 3])
+        kv.set_failed_modules([5])
+        np.testing.assert_array_equal(kv.batch_get(["a", "b", "c"]), [1, 2, 3])
+        kv.batch_put(["d"], [4])  # writes survive a tolerated failure too
+        assert kv.batch_get(["d"])[0] == 4
+        assert kv.batch_delete(["a"]) == 1
+        assert kv.batch_get(["a"])[0] == -1
+
+    def test_constructor_accepts_failed_modules(self):
+        kv = ParallelKVStore(PPAdapter(2, 3), failed_modules=[7])
+        kv.batch_put(["x"], [9])
+        assert kv.batch_get(["x"])[0] == 9
+
+    def test_set_failed_modules_normalizes(self, kv):
+        kv.set_failed_modules(np.empty(0, dtype=np.int64))
+        assert kv.failed_modules is None
+        kv.set_failed_modules([3, 4])
+        np.testing.assert_array_equal(kv.failed_modules, [3, 4])
+        kv.set_failed_modules(None)
+        assert kv.failed_modules is None
+
+
+class TestQuorumLoss:
+    def test_massive_failure_raises_not_lies(self, kv):
+        kv.batch_put(["a", "b", "c"], [1, 2, 3])
+        kv.set_failed_modules(np.arange(kv.scheme.N - 1))
+        with pytest.raises(QuorumLostError) as exc:
+            kv.batch_get(["a", "b", "c"])
+        assert exc.value.variables.size > 0
+        assert exc.value.modules.size > 0
+        # heal and the data is still there -- the refusal protected it
+        kv.set_failed_modules(None)
+        np.testing.assert_array_equal(kv.batch_get(["a", "b", "c"]), [1, 2, 3])
+
+    def test_put_under_quorum_loss_raises(self, kv):
+        kv.set_failed_modules(np.arange(kv.scheme.N - 1))
+        with pytest.raises(QuorumLostError):
+            kv.batch_put(["k"], [1])

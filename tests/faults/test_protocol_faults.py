@@ -1,0 +1,173 @@
+"""Protocol-boundary validation and degraded-mode reporting tests.
+
+The ``failed_modules`` / ``grey_modules`` / ``retry_limit`` hooks are a
+trust boundary: malformed fault sets must be rejected with
+:class:`ValueError` at the protocol entry instead of flowing silently
+into the masks, and well-formed faults must be accounted exactly in the
+per-variable :class:`~repro.faults.report.FaultReport`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import run_access_protocol
+from repro.faults.report import (
+    DEGRADED,
+    LOST,
+    OUTCOME_NAMES,
+    SATISFIED,
+    FaultReport,
+    QuorumLostError,
+)
+
+# 4 variables x 3 copies over 8 modules; variable 0 has two copies in
+# modules {0, 1}, so failing both dooms it (quorum 2 of 3)
+MODS = np.array(
+    [[0, 1, 2], [2, 3, 4], [4, 5, 6], [6, 7, 0]], dtype=np.int64
+)
+
+
+class TestBoundaryValidation:
+    def test_out_of_range_id_rejected(self):
+        with pytest.raises(ValueError, match=r"failed_modules ids"):
+            run_access_protocol(MODS, 8, 2, failed_modules=[8])
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError, match=r"failed_modules ids"):
+            run_access_protocol(MODS, 8, 2, failed_modules=[-1])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_access_protocol(MODS, 8, 2, failed_modules=[3, 3])
+
+    def test_doomed_without_allow_partial_raises(self):
+        with pytest.raises(ValueError, match="allow_partial"):
+            run_access_protocol(MODS, 8, 2, failed_modules=[0, 1])
+
+    def test_grey_shape_enforced(self):
+        with pytest.raises(ValueError, match="grey_modules must have shape"):
+            run_access_protocol(MODS, 8, 2, grey_modules=[1, 2])
+
+    def test_grey_period_below_one_rejected(self):
+        grey = np.ones(8, dtype=np.int64)
+        grey[0] = 0
+        with pytest.raises(ValueError, match="periods must be >= 1"):
+            run_access_protocol(MODS, 8, 2, grey_modules=grey)
+
+    def test_retry_limit_below_one_rejected(self):
+        with pytest.raises(ValueError, match="retry_limit"):
+            run_access_protocol(MODS, 8, 2, retry_limit=0)
+
+    def test_all_healthy_grey_periods_are_noop(self):
+        base = run_access_protocol(MODS, 8, 2)
+        res = run_access_protocol(
+            MODS, 8, 2, grey_modules=np.ones(8, dtype=np.int64)
+        )
+        assert res.iterations_per_phase == base.iterations_per_phase
+        assert res.fault_report is None
+
+
+class TestDegradedModeReport:
+    def test_outcome_classification(self):
+        res = run_access_protocol(
+            MODS, 8, 2, failed_modules=[0, 1], allow_partial=True
+        )
+        rep = res.fault_report
+        assert isinstance(rep, FaultReport)
+        # var 0 lost (both copies in {0, 1} dead), var 3 degraded (one
+        # dead copy), vars 1 and 2 untouched
+        assert list(rep.outcomes) == [LOST, SATISFIED, SATISFIED, DEGRADED]
+        np.testing.assert_array_equal(rep.dead_copies, [2, 0, 0, 1])
+        np.testing.assert_array_equal(res.unsatisfiable, [0])
+        np.testing.assert_array_equal(rep.lost_variables, [0])
+        np.testing.assert_array_equal(rep.degraded_variables, [3])
+        np.testing.assert_array_equal(rep.implicated_modules, [0, 1])
+        assert rep.satisfied_at[0] == -1  # lost: never satisfied
+        assert (rep.satisfied_at[1:] >= 1).all()
+        assert not rep.ok
+        assert rep.n_satisfied == 2 and rep.n_degraded == 1 and rep.n_lost == 1
+
+    def test_lost_reads_stay_minus_one(self):
+        store_mods = MODS
+        slots = np.broadcast_to(
+            np.arange(4, dtype=np.int64)[:, None], store_mods.shape
+        )
+        from repro.mpc.memory import SharedCopyStore
+
+        store = SharedCopyStore(8, 4)
+        run_access_protocol(
+            store_mods, 8, 2, op="write", slots=slots, store=store,
+            values=np.arange(4) + 10, time=1,
+        )
+        res = run_access_protocol(
+            store_mods, 8, 2, op="read", slots=slots, store=store, time=2,
+            failed_modules=[0, 1], allow_partial=True,
+        )
+        assert res.values[0] == -1
+        np.testing.assert_array_equal(res.values[1:], [11, 12, 13])
+
+    def test_grey_modules_degrade_not_lose(self):
+        grey = np.ones(8, dtype=np.int64)
+        grey[2] = 3  # variable 0 and 1 each have a copy in module 2
+        res = run_access_protocol(MODS, 8, 2, grey_modules=grey)
+        rep = res.fault_report
+        assert res.unsatisfiable is None
+        assert rep.n_lost == 0
+        np.testing.assert_array_equal(rep.grey_copies, [1, 1, 0, 0])
+        assert rep.outcomes[2] == SATISFIED and rep.outcomes[3] == SATISFIED
+
+    def test_retry_exhaustion_marks_lost(self):
+        # quorum 3 of 3 with a dead copy can never finish: the retry
+        # bound must declare the variable lost instead of spinning
+        res = run_access_protocol(
+            np.array([[0, 1, 2]], dtype=np.int64), 8, 3,
+            failed_modules=[0], allow_partial=True, retry_limit=5,
+        )
+        np.testing.assert_array_equal(res.unsatisfiable, [0])
+        assert res.fault_report.outcomes[0] == LOST
+
+    def test_retry_exhaustion_without_allow_partial_raises(self):
+        # a satisfiable variable (nothing dead) that cannot finish in
+        # time: quorum 3 of 3 with one module serving every 10th
+        # iteration needs ~10 iterations, but the budget is 3
+        grey = np.ones(8, dtype=np.int64)
+        grey[0] = 10
+        with pytest.raises(ValueError, match="retry_limit"):
+            run_access_protocol(
+                np.array([[0, 1, 2]], dtype=np.int64), 8, 3,
+                grey_modules=grey, retry_limit=3,
+            )
+
+    def test_generous_retry_limit_changes_nothing(self):
+        base = run_access_protocol(MODS, 8, 2)
+        res = run_access_protocol(MODS, 8, 2, retry_limit=10_000)
+        assert res.iterations_per_phase == base.iterations_per_phase
+        assert res.unsatisfiable is None
+        assert res.fault_report is None  # retry alone is not a fault
+
+    def test_report_accounting_helpers(self):
+        res = run_access_protocol(
+            MODS, 8, 2, failed_modules=[0, 1], allow_partial=True
+        )
+        rep = res.fault_report
+        rep.with_baseline(res.total_iterations - 2, res.total_iterations)
+        assert rep.extra_iterations == 2
+        text = rep.render()
+        for name in OUTCOME_NAMES:
+            assert name in text
+        assert "+2 iterations" in text
+        s = rep.summary()
+        assert s["lost"] == 1 and s["extra_iterations"] == 2
+
+
+class TestQuorumLostError:
+    def test_carries_variables_and_modules(self):
+        err = QuorumLostError(
+            "boom",
+            variables=np.array([3, 5]),
+            modules=np.array([1]),
+        )
+        assert str(err) == "boom"
+        np.testing.assert_array_equal(err.variables, [3, 5])
+        np.testing.assert_array_equal(err.modules, [1])
+        assert isinstance(err, RuntimeError)

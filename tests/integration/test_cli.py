@@ -74,3 +74,66 @@ class TestExpansion:
         ) == 0
         out = capsys.readouterr().out
         assert "expansion profile" in out
+
+
+class TestFaults:
+    def test_campaign_writes_report_and_passes(self, capsys, tmp_path):
+        code = main(
+            ["faults", "campaign", "--qs", "2", "--intensities", "0.0",
+             "0.1", "--models", "crash", "stale", "--victims", "3",
+             "--requests", "80", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Verdict: PASS" in out
+        assert (tmp_path / "faults_campaign.md").exists()
+        assert (tmp_path / "faults_campaign.json").exists()
+
+    def test_report_rerenders_stored_campaign(self, capsys, tmp_path):
+        assert main(
+            ["faults", "campaign", "--qs", "2", "--intensities", "0.1",
+             "--models", "crash", "--victims", "2", "--requests", "60",
+             "--out", str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["faults", "report", "--dir", str(tmp_path)]) == 0
+        assert "q/2 threshold ladders" in capsys.readouterr().out
+
+    def test_campaign_exits_nonzero_on_violations(self, capsys, monkeypatch,
+                                                  tmp_path):
+        from repro.faults import campaign as campaign_mod
+
+        def broken_campaign(**kwargs):
+            return campaign_mod.CampaignResult(
+                violations=["scenario q=2 crash: 1 silent wrong read"]
+            )
+
+        monkeypatch.setattr(campaign_mod, "run_campaign", broken_campaign)
+        code = main(["faults", "campaign", "--out", str(tmp_path)])
+        assert code == 1
+        assert "Verdict: FAIL" in capsys.readouterr().out
+
+    def test_report_exits_nonzero_on_stored_violations(self, capsys,
+                                                       tmp_path):
+        import json
+
+        record = {
+            "schema": 1, "ok": False, "meta": {},
+            "violations": ["threshold q=2 killed k=1: not sharp"],
+            "thresholds": [], "scenarios": [],
+        }
+        with open(tmp_path / "faults_campaign.json", "w") as fh:
+            json.dump(record, fh)
+        assert main(["faults", "report", "--dir", str(tmp_path)]) == 1
+        assert "Verdict: FAIL" in capsys.readouterr().out
+
+    def test_report_missing_file_is_error(self, capsys, tmp_path):
+        assert main(["faults", "report", "--dir", str(tmp_path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_model_name_is_error(self, capsys, tmp_path):
+        assert main(
+            ["faults", "campaign", "--models", "meteor",
+             "--out", str(tmp_path)]
+        ) == 2
+        assert "unknown fault model" in capsys.readouterr().err
