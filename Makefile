@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples docs perf perf-check coverage faults all clean
+.PHONY: install test bench examples docs perf perf-check coverage faults conform all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -28,11 +28,15 @@ perf-check:
 	$(PYTHON) -m repro perf check
 
 coverage:
-	$(PYTHON) tools/coverage_gate.py --fail-under 95.6 \
-		--min-package repro/faults=90 --report
+	$(PYTHON) tools/coverage_gate.py --fail-under 96.4 \
+		--min-package repro/faults=90 --min-package repro/gf=90 \
+		--min-package repro/conformance=90 --report
 
 faults:
 	$(PYTHON) -m repro faults campaign --qs 2 4 8
+
+conform:
+	$(PYTHON) -m repro conform fuzz --seed 0 --ops 2000
 
 record:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

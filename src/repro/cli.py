@@ -20,7 +20,15 @@ Subcommands
               ``campaign`` sweeps the fault models and the q/2 threshold
               ladders and writes ``faults_campaign.{md,json}`` (non-zero
               exit on any semantic violation below the threshold),
-              ``report`` re-renders a stored campaign.
+              ``report`` re-renders a stored campaign;
+``conform``   trace-based conformance (:mod:`repro.conformance`):
+              ``fuzz`` replays one seeded workload through every scheme
+              plus a serial dict oracle, checks every recorded trace,
+              runs the stale-majority canary, and writes
+              ``conformance_fuzz.{md,json}`` (non-zero exit on any
+              violation or a blind canary), ``check`` runs the
+              consistency checker over stored JSONL traces, ``report``
+              re-renders a stored fuzz report.
 
 Examples::
 
@@ -37,6 +45,9 @@ Examples::
     python -m repro perf check --window 5 --ratio 0.25
     python -m repro faults campaign --qs 2 4 8 --seed 0
     python -m repro faults report
+    python -m repro conform fuzz --seed 0 --ops 2000
+    python -m repro conform check trace.jsonl
+    python -m repro conform report
 """
 
 from __future__ import annotations
@@ -194,6 +205,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--dir", metavar="DIR",
         default=os.path.join("benchmarks", "results"),
         help="directory holding faults_campaign.json",
+    )
+
+    sp = sub.add_parser(
+        "conform", help="trace-based conformance: fuzz / check / report"
+    )
+    csub = sp.add_subparsers(dest="verb", required=True)
+
+    vp = csub.add_parser(
+        "fuzz",
+        help="differential fuzz all schemes vs a serial oracle; "
+        "non-zero exit on violations",
+    )
+    vp.add_argument("--seed", type=int, default=0)
+    vp.add_argument("--ops", type=int, default=2000,
+                    help="minimum single operations in the workload")
+    vp.add_argument("--max-batch", type=int, default=32,
+                    help="largest batch the plan may issue")
+    vp.add_argument("--trace-dir", metavar="DIR", default=None,
+                    help="also write each scheme's JSONL trace here")
+    vp.add_argument("--no-canary", action="store_true",
+                    help="skip the stale-majority checker self-test")
+    vp.add_argument(
+        "--out", metavar="DIR",
+        default=os.path.join("benchmarks", "results"),
+        help="report directory ('-' to skip writing)",
+    )
+
+    vp = csub.add_parser(
+        "check",
+        help="run the consistency checker over stored JSONL trace files",
+    )
+    vp.add_argument("traces", nargs="+", metavar="FILE",
+                    help="JSONL trace files (any tracer's output)")
+    vp.add_argument("--max-violations", type=int, default=100,
+                    help="violations listed per report before truncating")
+
+    vp = csub.add_parser(
+        "report", help="re-render a stored conformance fuzz report"
+    )
+    vp.add_argument(
+        "--dir", metavar="DIR",
+        default=os.path.join("benchmarks", "results"),
+        help="directory holding conformance_fuzz.json",
     )
 
     sp = sub.add_parser("verify", help="run the instance self-checks")
@@ -465,6 +519,81 @@ def _cmd_faults(args) -> int:
     }[args.verb](args)
 
 
+def _conform_fuzz(args) -> int:
+    from repro.conformance.differential import (
+        render_markdown,
+        run_fuzz,
+        stale_majority_canary,
+        write_report,
+    )
+
+    result = run_fuzz(
+        seed=args.seed,
+        total_ops=args.ops,
+        trace_dir=args.trace_dir,
+        max_batch=args.max_batch,
+    )
+    print(render_markdown(result))
+    ok = result.ok
+    if not args.no_canary:
+        canary = stale_majority_canary(seed=args.seed)
+        verdict = "DETECTED" if canary.detected else "MISSED"
+        print(
+            f"\nStale-majority canary: {verdict} "
+            f"({canary.silent_wrong_reads} silently-wrong read(s), "
+            f"{canary.report.n_violations} violation(s) flagged)"
+        )
+        if not canary.detected:
+            for v in canary.report.violations:
+                print(f"  {v.describe()}", file=sys.stderr)
+        ok = ok and canary.detected
+    if args.out != "-":
+        md_path, json_path = write_report(result, args.out)
+        print(f"report -> {md_path}, {json_path}", file=sys.stderr)
+    return 0 if ok else 1
+
+
+def _conform_check(args) -> int:
+    from repro.conformance.checker import ConsistencyChecker
+    from repro.obs.trace import read_jsonl
+
+    checker = ConsistencyChecker(max_violations=args.max_violations)
+    failed = 0
+    for path in args.traces:
+        rep = checker.check_events(read_jsonl(path))
+        print(f"## {path}\n\n{rep.render()}\n")
+        if not rep.ok:
+            failed += 1
+    if failed:
+        print(f"{failed} of {len(args.traces)} trace(s) inconsistent",
+              file=sys.stderr)
+    return 0 if not failed else 1
+
+
+def _conform_report(args) -> int:
+    import json
+
+    from repro.conformance.differential import (
+        REPORT_BASENAME,
+        FuzzResult,
+        render_markdown,
+    )
+
+    path = os.path.join(args.dir, REPORT_BASENAME + ".json")
+    with open(path) as fh:
+        result = FuzzResult.from_dict(json.load(fh))
+    print(render_markdown(result))
+    return 0 if result.ok else 1
+
+
+def _cmd_conform(args) -> int:
+    return {
+        "fuzz": _conform_fuzz,
+        "check": _conform_check,
+        "report": _conform_report,
+    }[args.verb](args)
+
+
 def _cmd_sweep(args) -> int:
     t = Table(
         ["n", "N", "Phi", "bound shape", "total iterations"],
@@ -517,6 +646,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "perf": _cmd_perf,
     "faults": _cmd_faults,
+    "conform": _cmd_conform,
     "sweep": _cmd_sweep,
     "expansion": _cmd_expansion,
     "verify": _cmd_verify,

@@ -1,0 +1,63 @@
+"""Trace-based conformance checking of the replicated-memory stack.
+
+The paper's contract is behavioral: a PRAM program cannot tell the
+replicated, majority-arbitrated memory from a single serial memory.
+This package turns that contract into an executable oracle:
+
+* :mod:`repro.conformance.recorder` -- captures per-operation
+  ``mem.op`` / ``kv.op`` trace events (emitted by the protocol engine
+  and the KV store behind the observability switchboard) as typed
+  records and JSONL files;
+* :mod:`repro.conformance.checker` -- verifies a trace against
+  serial-memory-per-variable (PRAM) semantics, with machine-readable
+  violation reports anchored to (processor, round, variable);
+* :mod:`repro.conformance.differential` -- replays one seeded workload
+  through all memory-organization schemes plus a plain-dict oracle and
+  diffs reads, final state, and traces; includes the stale-majority
+  canary that proves the checker can catch the one fault the protocol
+  cannot mask.
+
+CLI: ``repro conform fuzz | check | report`` (exit 1 on violations).
+"""
+
+from repro.conformance.checker import (
+    ConsistencyChecker,
+    Violation,
+    ViolationReport,
+)
+from repro.conformance.differential import (
+    CanaryResult,
+    FuzzResult,
+    SchemeFuzzRow,
+    conformance_schemes,
+    fuzz_scheme,
+    run_fuzz,
+    stale_majority_canary,
+)
+from repro.conformance.recorder import (
+    KvOp,
+    MemOp,
+    TraceRecorder,
+    load_kv_ops,
+    load_mem_ops,
+    record,
+)
+
+__all__ = [
+    "ConsistencyChecker",
+    "Violation",
+    "ViolationReport",
+    "CanaryResult",
+    "FuzzResult",
+    "SchemeFuzzRow",
+    "conformance_schemes",
+    "fuzz_scheme",
+    "run_fuzz",
+    "stale_majority_canary",
+    "KvOp",
+    "MemOp",
+    "TraceRecorder",
+    "load_kv_ops",
+    "load_mem_ops",
+    "record",
+]

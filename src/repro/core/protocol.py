@@ -122,6 +122,7 @@ def run_access_protocol(
     allow_partial: bool = False,
     grey_modules: np.ndarray | None = None,
     retry_limit: int | None = None,
+    var_ids: np.ndarray | None = None,
 ) -> AccessResult:
     """Run the q+1-phase majority protocol for one batch of requests.
 
@@ -179,6 +180,13 @@ def run_access_protocol(
         Bounded retry: a variable still unsatisfied after this many
         iterations of its phase is declared *lost* (reported via
         ``allow_partial`` semantics) instead of being retried forever.
+    var_ids:
+        ``(V,)`` global variable ids of the requests, used only to label
+        the per-operation ``mem.op`` trace events consumed by the
+        conformance checker (:mod:`repro.conformance`).  Defaults to the
+        batch positions.  Events are emitted only for read/write ops and
+        only while a recording tracer is installed, so the healthy path
+        pays nothing extra.
 
     Returns
     -------
@@ -314,6 +322,10 @@ def run_access_protocol(
                 module_ids, dead_copy, grey, failed_arr, out_lost, out_sat,
                 retry_limit,
             )
+    if obs_on and op != "count":
+        _emit_mem_ops(
+            op, var_ids, V, phase_count, out_values, values, out_lost, time
+        )
     if obs_on and _obs.metrics_enabled():
         m = _obs.metrics()
         m.counter("protocol.accesses", op=op).inc()
@@ -337,6 +349,48 @@ def run_access_protocol(
         unsatisfiable=unsatisfiable,
         fault_report=fault_report,
     )
+
+
+def _emit_mem_ops(
+    op: str,
+    var_ids: np.ndarray | None,
+    V: int,
+    phase_count: int,
+    out_values: np.ndarray | None,
+    values: np.ndarray | None,
+    out_lost: np.ndarray | None,
+    time: int,
+) -> None:
+    """One ``mem.op`` trace event per request of a read/write batch.
+
+    The event is the checker-facing record of what the memory *did*:
+    ``var`` (global id), ``value`` (written, or observed by the read),
+    ``round`` (the batch's logical timestamp), ``proc`` (the requesting
+    position -- the cluster member in charge), ``phase`` (the protocol
+    phase that served it) and ``lost`` (quorum lost, value invalid).
+    """
+    tr = _obs.tracer()
+    if not tr.enabled:
+        return
+    ids = (
+        np.arange(V, dtype=np.int64)
+        if var_ids is None
+        else np.asarray(var_ids, dtype=np.int64).reshape(-1)
+    )
+    if ids.shape[0] != V:
+        raise ValueError(f"var_ids must have shape ({V},)")
+    vals = out_values if op == "read" else values
+    for i in range(V):
+        tr.event(
+            "mem.op",
+            op=op,
+            var=int(ids[i]),
+            value=int(vals[i]),
+            round=int(time),
+            proc=i,
+            phase=i % phase_count,
+            lost=bool(out_lost[i]) if out_lost is not None else False,
+        )
 
 
 def _build_fault_report(

@@ -282,6 +282,7 @@ class PPScheme:
             allow_partial=allow_partial,
             grey_modules=grey_modules,
             retry_limit=retry_limit,
+            var_ids=indices,
         )
 
     def write(

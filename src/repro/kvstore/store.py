@@ -217,6 +217,20 @@ class ParallelKVStore:
         if _obs.metrics_enabled():
             _obs.metrics().counter("kvstore.ops", op=op).inc()
 
+    def _emit_kv_ops(self, op: str, keys, values) -> None:
+        """One ``kv.op`` trace event per key of a completed batch -- the
+        store-level record the conformance checker diffs against plain
+        dict semantics (:mod:`repro.conformance`).  ``round`` is the
+        store's logical clock after the batch, so successive batches are
+        totally ordered.  Callers must check ``_obs.enabled()`` first."""
+        tr = _obs.tracer()
+        if not tr.enabled:
+            return
+        for k, v in zip(keys, np.ravel(values)):
+            tr.event(
+                "kv.op", op=op, key=str(k), value=int(v), round=self._time
+            )
+
     # -- public API ------------------------------------------------------------------
 
     def batch_put(self, keys, values) -> dict:
@@ -269,6 +283,8 @@ class ParallelKVStore:
         updates = found
         if updates.any():
             self._write_vars(2 * slot[updates] + 1, values[updates])
+        if _obs.enabled():
+            self._emit_kv_ops("put", keys, values)
         return {
             "inserted": int((~found).sum()),
             "updated": int(found.sum()),
@@ -287,6 +303,8 @@ class ParallelKVStore:
         if found.any():
             vals = self._read_vars(2 * slot[found] + 1)
             out[found] = vals
+        if _obs.enabled():
+            self._emit_kv_ops("get", keys, out)
         return out
 
     def batch_delete(self, keys) -> int:
@@ -302,6 +320,8 @@ class ParallelKVStore:
                 2 * slot[found], np.full(int(found.sum()), TOMBSTONE, dtype=np.int64)
             )
             self.size -= int(found.sum())
+        if _obs.enabled():
+            self._emit_kv_ops("delete", keys, found.astype(np.int64))
         return int(found.sum())
 
     def scan(self) -> tuple[np.ndarray, np.ndarray]:

@@ -64,6 +64,8 @@ JSONL, one object per line; every record has ``type`` ("span"/"event"),
 | ``faults.campaign`` | span | ``qs, models, violations`` |
 | ``faults.threshold`` | span | ``q`` (one adversarial ladder) |
 | ``faults.scenario`` | span | ``q, model, intensity`` |
+| ``mem.op`` | event | ``op, var, value, round, proc, phase, lost`` (one per request; consumed by :mod:`repro.conformance`) |
+| ``kv.op`` | event | ``op, key, value, round`` (one per key of a kvstore batch) |
 
 ### Overhead guarantees
 

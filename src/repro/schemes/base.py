@@ -144,6 +144,7 @@ class MemoryScheme(ABC):
             allow_partial=allow_partial,
             grey_modules=grey_modules,
             retry_limit=retry_limit,
+            var_ids=indices,
         )
 
     def read(self, indices, store, time: int, **kw) -> AccessResult:

@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["random_distinct", "strided", "hotspot_blocks", "phase_shuffled"]
+__all__ = [
+    "random_distinct",
+    "strided",
+    "hotspot_blocks",
+    "phase_shuffled",
+    "op_batches",
+]
 
 
 def random_distinct(M: int, count: int, seed: int = 0) -> np.ndarray:
@@ -55,6 +61,58 @@ def hotspot_blocks(
     if pool.size < count:
         raise ValueError("hot-spot pool smaller than count after dedup")
     return rng.choice(pool, size=count, replace=False)
+
+
+def op_batches(
+    M: int,
+    total_ops: int,
+    seed: int = 0,
+    max_batch: int = 32,
+    read_fraction: float = 0.45,
+) -> list[tuple[str, np.ndarray]]:
+    """A seeded mixed read/write batch plan for the conformance fuzzer.
+
+    Returns ``[(kind, indices), ...]`` with ``kind`` in ``'read'`` /
+    ``'write'`` and at least ``total_ops`` single operations overall.
+    Batches rotate through the generator families above (uniform,
+    strided, hot-spot) so placement pathologies are exercised alongside
+    benign traffic; every batch holds distinct indices, as the protocol
+    requires.  The plan opens with a write so reads have state to hit.
+    """
+    if M < 2:
+        raise ValueError("need at least 2 variables to fuzz")
+    rng = np.random.default_rng(seed)
+    plan: list[tuple[str, np.ndarray]] = []
+    issued = 0
+    while issued < total_ops:
+        size = int(rng.integers(1, min(max_batch, M) + 1))
+        family = rng.integers(0, 3)
+        if family == 0:
+            idx = random_distinct(M, size, seed=int(rng.integers(1 << 31)))
+        elif family == 1:
+            stride = 3
+            while M % stride == 0:
+                stride += 2
+            idx = strided(
+                M, size, stride=stride, offset=int(rng.integers(M))
+            )
+        else:
+            block = max(4, min(M // 2, 2 * size))
+            try:
+                idx = hotspot_blocks(
+                    M, size, block=block, n_blocks=4,
+                    seed=int(rng.integers(1 << 31)),
+                )
+            except ValueError:
+                idx = random_distinct(M, size, seed=int(rng.integers(1 << 31)))
+        kind = (
+            "read"
+            if plan and rng.random() < read_fraction
+            else "write"
+        )
+        plan.append((kind, idx))
+        issued += idx.size
+    return plan
 
 
 def phase_shuffled(indices: np.ndarray, seed: int = 0) -> np.ndarray:

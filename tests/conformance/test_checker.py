@@ -1,0 +1,230 @@
+"""ConsistencyChecker: serial-memory-per-variable semantics on synthetic
+operation sequences (every violation class, arbitration, taint, limits)."""
+
+import pytest
+
+from repro.conformance.checker import (
+    ConsistencyChecker,
+    Violation,
+    ViolationReport,
+)
+from repro.conformance.recorder import KvOp, MemOp
+
+_SEQ = iter(range(10_000_000))
+
+
+def mem(op, var, value, round, proc=0, lost=False):
+    return MemOp(
+        op=op, var=var, value=value, round=round, proc=proc, phase=0,
+        lost=lost, seq=next(_SEQ),
+    )
+
+
+def kv(op, key, value, round):
+    return KvOp(op=op, key=key, value=value, round=round, seq=next(_SEQ))
+
+
+def check(ops, **kw):
+    return ConsistencyChecker(**kw).check_mem_ops(ops)
+
+
+class TestCleanTraces:
+    def test_empty_trace_ok(self):
+        rep = check([])
+        assert rep.ok and rep.n_violations == 0
+
+    def test_write_then_read(self):
+        rep = check([mem("write", 1, 5, 1), mem("read", 1, 5, 2)])
+        assert rep.ok
+        assert rep.reads_checked == 1 and rep.writes_seen == 1
+
+    def test_unwritten_read_returns_minus_one(self):
+        assert check([mem("read", 7, -1, 1)]).ok
+
+    def test_overwrite_visible(self):
+        rep = check([
+            mem("write", 1, 5, 1),
+            mem("write", 1, 9, 2),
+            mem("read", 1, 9, 3),
+        ])
+        assert rep.ok
+
+    def test_read_sorted_after_same_round_write(self):
+        # a read carrying the round's new value is consistent: writes
+        # become visible at their timestamp
+        ops = [mem("read", 1, 5, 1), mem("write", 1, 5, 1)]
+        assert check(ops).ok
+
+    def test_unsorted_input_is_sorted_by_round(self):
+        ops = [
+            mem("read", 1, 9, 3),
+            mem("write", 1, 9, 2),
+            mem("write", 1, 5, 1),
+        ]
+        assert check(ops).ok
+
+
+class TestViolationClasses:
+    def test_stale_read_flagged_with_identity(self):
+        rep = check([
+            mem("write", 4, 10, 1),
+            mem("write", 4, 20, 2),
+            mem("read", 4, 10, 3, proc=7),
+        ])
+        assert not rep.ok
+        v = rep.violations[0]
+        assert v.kind == "stale-read"
+        assert (v.proc, v.round, v.var) == (7, 3, "4")
+        assert v.expected == 20 and v.observed == 10
+        assert "processor 7" in v.describe()
+
+    def test_phantom_read_never_written(self):
+        rep = check([mem("read", 2, 42, 1)])
+        assert rep.violations[0].kind == "phantom-read"
+
+    def test_phantom_read_unknown_value(self):
+        rep = check([mem("write", 2, 5, 1), mem("read", 2, 999, 2)])
+        assert rep.violations[0].kind == "phantom-read"
+
+    def test_dropped_read(self):
+        rep = check([mem("write", 2, 5, 1), mem("read", 2, -1, 2)])
+        assert rep.violations[0].kind == "dropped-read"
+
+
+class TestArbitration:
+    def test_same_round_larger_value_wins(self):
+        # the protocol packs (stamp << 32) | value and takes the max, so
+        # of two same-round writes the larger value is the winner
+        ops = [mem("write", 1, 5, 1), mem("write", 1, 9, 1)]
+        assert check(ops + [mem("read", 1, 9, 2)]).ok
+        rep = check(ops + [mem("read", 1, 5, 2)])
+        assert rep.violations[0].kind == "stale-read"
+
+    def test_same_round_order_of_emission_irrelevant(self):
+        ops = [mem("write", 1, 9, 1), mem("write", 1, 5, 1)]
+        assert check(ops + [mem("read", 1, 9, 2)]).ok
+
+
+class TestLostOperations:
+    def test_lost_read_exempt(self):
+        rep = check([
+            mem("write", 1, 5, 1),
+            mem("read", 1, -1, 2, lost=True),
+        ])
+        assert rep.ok and rep.lost_exempt == 1
+        assert rep.reads_checked == 0
+
+    def test_lost_write_taints_both_values(self):
+        base = [mem("write", 1, 5, 1), mem("write", 1, 9, 2, lost=True)]
+        old = check(base + [mem("read", 1, 5, 3)])
+        new = check(base + [mem("read", 1, 9, 3)])
+        assert old.ok and old.tainted_accepted == 0  # old value is expected
+        assert new.ok and new.tainted_accepted == 1
+
+    def test_lost_write_third_value_still_flagged(self):
+        rep = check([
+            mem("write", 1, 5, 1),
+            mem("write", 1, 9, 2, lost=True),
+            mem("read", 1, 77, 3),
+        ])
+        assert not rep.ok
+
+    def test_lost_first_write_taints_empty(self):
+        rep = check([
+            mem("write", 1, 9, 1, lost=True),
+            mem("read", 1, -1, 2),
+        ])
+        assert rep.ok
+
+    def test_successful_write_clears_taint(self):
+        rep = check([
+            mem("write", 1, 5, 1),
+            mem("write", 1, 9, 2, lost=True),
+            mem("write", 1, 30, 3),
+            mem("read", 1, 9, 4),
+        ])
+        assert not rep.ok
+        assert rep.violations[0].kind == "stale-read"
+
+
+class TestKvSemantics:
+    def test_dict_model(self):
+        rep = ConsistencyChecker().check_kv_ops([
+            kv("put", "a", 1, 1),
+            kv("get", "a", 1, 2),
+            kv("get", "b", -1, 2),
+            kv("delete", "a", 0, 3),
+            kv("get", "a", -1, 4),
+        ])
+        assert rep.ok and rep.kv_checked == 5
+
+    def test_wrong_get_flagged(self):
+        rep = ConsistencyChecker().check_kv_ops([
+            kv("put", "a", 1, 1),
+            kv("put", "a", 2, 2),
+            kv("get", "a", 1, 3),
+        ])
+        assert rep.violations[0].kind == "kv-stale-get"
+        assert rep.violations[0].var == "a"
+
+    def test_phantom_get_flagged(self):
+        rep = ConsistencyChecker().check_kv_ops([kv("get", "z", 3, 1)])
+        assert rep.violations[0].kind == "kv-phantom-get"
+
+
+class TestCheckEvents:
+    def test_merges_both_disciplines(self):
+        events = [
+            {"name": "mem.op", "op": "write", "var": 1, "value": 5,
+             "round": 1, "proc": 0, "phase": 0, "lost": False, "seq": 0},
+            {"name": "mem.op", "op": "read", "var": 1, "value": 4,
+             "round": 2, "proc": 0, "phase": 0, "lost": False, "seq": 1},
+            {"name": "kv.op", "op": "get", "key": "a", "value": 3,
+             "round": 1, "seq": 2},
+            {"name": "protocol.access", "type": "span", "seq": 3},
+        ]
+        rep = ConsistencyChecker().check_events(events)
+        assert rep.n_violations == 2
+        kinds = {v.kind for v in rep.violations}
+        assert kinds == {"phantom-read", "kv-phantom-get"}
+
+
+class TestReportMachinery:
+    def test_truncation_cap(self):
+        ops = [mem("read", i, 42, 1, proc=i) for i in range(10)]
+        rep = check(ops, max_violations=3)
+        assert len(rep.violations) == 3
+        assert rep.truncated == 7
+        assert rep.n_violations == 10 and not rep.ok
+
+    def test_cap_validated(self):
+        with pytest.raises(ValueError):
+            ConsistencyChecker(max_violations=0)
+
+    def test_dict_round_trip(self):
+        rep = check([mem("write", 1, 5, 1), mem("read", 1, 3, 2)])
+        back = ViolationReport.from_dict(rep.to_dict())
+        assert back.violations == rep.violations
+        assert back.ok == rep.ok
+        assert back.reads_checked == rep.reads_checked
+
+    def test_render_pass_and_fail(self):
+        assert "PASS" in check([mem("write", 1, 5, 1)]).render()
+        text = check([mem("read", 1, 5, 1)]).render()
+        assert "FAIL" in text and "phantom-read" in text
+
+    def test_render_mentions_truncation(self):
+        ops = [mem("read", i, 42, 1) for i in range(5)]
+        assert "more" in check(ops, max_violations=2).render()
+
+    def test_merge_accumulates(self):
+        a = check([mem("read", 1, 5, 1)])
+        b = check([mem("write", 2, 5, 1), mem("read", 2, 5, 2)])
+        merged = a.merge(b)
+        assert merged is a
+        assert merged.n_violations == 1
+        assert merged.reads_checked == 2 and merged.writes_seen == 1
+
+    def test_violation_is_hashable(self):
+        v = Violation("stale-read", "1", 2, 3, 4, 5)
+        assert v in {v}

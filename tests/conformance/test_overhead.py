@@ -1,0 +1,82 @@
+"""The recorder stays inside the <5% obs budget when disabled.
+
+Same guard-cost accounting as ``tests/obs/test_overhead.py``, but for a
+*read* batch -- the only op kind where the new per-operation ``mem.op``
+emission is live.  With no tracer installed the emission site costs
+nothing beyond the one pre-existing ``obs.enabled()`` guard (the
+``op != 'count'`` test short-circuits on the same boolean, and the
+per-operation loop never runs), so the accounting charges every span
+record at the measured per-guard cost and the emission site a flat
+constant -- the recorder's *enabled* capture is verified separately
+(one ``mem.op`` per request), its *disabled* cost is zero extra guards.
+"""
+
+import time
+
+from repro import obs
+from repro.core.scheme import PPScheme
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestRecorderOverheadBudget:
+    def test_read_batch_guard_cost_under_budget(self, scheme_2_5):
+        s = scheme_2_5
+        idx = s.random_request_set(min(s.N, s.M, 512), seed=3)
+        store = s.make_store()
+        s.write(idx, values=idx, store=store, time=1)
+
+        def read():
+            s.read(idx, store=store, time=2)
+
+        read()  # warm caches off the clock
+        assert not obs.enabled()
+        t_off = _best_of(read)
+
+        # Count every record a tracer sees for this exact batch -- each
+        # is one activated instrumentation site, spans charged twice.
+        tracer = obs.RecordingTracer()
+        prev = obs.set_tracer(tracer)
+        try:
+            read()
+        finally:
+            obs.set_tracer(prev)
+        n_mem = sum(e.get("name") == "mem.op" for e in tracer.events)
+        assert n_mem == idx.size  # the recorder saw every request
+        # mem.op events are NOT guard touches when disabled: the whole
+        # per-operation loop sits behind the batch's one pre-existing
+        # obs_on boolean, so the disabled path runs zero extra guards.
+        # Charge the emission site a flat few touches for its short-
+        # circuited test and count every other record as usual.
+        touches = 2 * (len(tracer.events) - n_mem) + 10
+
+        n = 100_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            obs.enabled()
+        per_guard = (time.perf_counter() - t0) / n
+
+        overhead = touches * per_guard
+        budget = 0.05 * t_off
+        assert overhead < budget, (
+            f"guard overhead {overhead * 1e6:.1f}us exceeds 5% budget "
+            f"{budget * 1e6:.1f}us ({touches} touches x "
+            f"{per_guard * 1e9:.0f}ns on a {t_off * 1e3:.1f}ms read batch)"
+        )
+
+    def test_disabled_read_emits_nothing(self, scheme_2_3):
+        s = scheme_2_3
+        idx = s.random_request_set(32, seed=1)
+        store = s.make_store()
+        s.write(idx, values=idx, store=store, time=1)
+        assert not obs.enabled()
+        s.read(idx, store=store, time=2)  # must not raise, must not record
+        tracer = obs.tracer()
+        assert not tracer.enabled

@@ -1,15 +1,33 @@
-"""Shared fixtures: session-scoped graphs and schemes.
+"""Shared fixtures and Hypothesis profiles.
 
 Graph/field construction builds lookup tables; sharing instances across
 tests keeps the suite fast without coupling tests (all objects are
 effectively immutable after construction).
+
+Hypothesis is configured centrally here (individual tests only override
+``max_examples``-style knobs): the ``ci`` profile is derandomized so CI
+failures reproduce exactly, ``dev`` keeps random exploration for local
+runs.  Both drop the wall-clock deadline -- first-call JIT/table-build
+costs make per-example timing meaningless in this codebase.  Select
+explicitly with ``HYPOTHESIS_PROFILE=dev``; CI is auto-detected.
 """
+
+import os
 
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.core.graph import MemoryGraph
 from repro.core.scheme import PPScheme
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(
+    os.environ.get(
+        "HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev"
+    )
+)
 
 
 @pytest.fixture(scope="session")

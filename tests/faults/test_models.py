@@ -118,7 +118,7 @@ class TestRandomCrashes:
 
 
 class TestTargetedAttack:
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     @given(
         k=st.integers(1, 3),
         seed=st.integers(0, 2**16),
@@ -216,7 +216,7 @@ class TestRegistry:
 
 
 class TestPlanReproducibility:
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     @given(
         intensity=st.floats(0.0, 1.0, allow_nan=False),
         seed=st.integers(0, 2**32 - 1),
@@ -237,7 +237,7 @@ class TestPlanReproducibility:
 
 
 class TestFaultScheduleProperties:
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     @given(
         n=st.integers(1, 60),
         rate=st.floats(0.0, 1.0, allow_nan=False),
@@ -254,7 +254,7 @@ class TestFaultScheduleProperties:
             if failed.size:
                 assert failed.min() >= 0 and failed.max() < n
 
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     @given(lag=st.integers(1, 6), n=st.integers(1, 20))
     def test_repair_lag_is_exact(self, lag, n):
         # rate 1.0 fails every healthy module at step 1; then freeze the
@@ -273,7 +273,7 @@ class TestFaultScheduleProperties:
         for _ in range(5):
             assert fs.step().size == 10
 
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     @given(seed=st.integers(0, 2**16))
     def test_same_seed_same_trajectory(self, seed):
         a = FaultSchedule(25, 0.3, repair_lag=2, seed=seed)

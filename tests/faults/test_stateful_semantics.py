@@ -138,7 +138,7 @@ class FaultyStoreMachine(RuleBasedStateMachine):
 
 
 FaultyStoreMachine.TestCase.settings = settings(
-    max_examples=12, stateful_step_count=25, deadline=None
+    max_examples=12, stateful_step_count=25
 )
 
 TestFaultyStoreSemantics = FaultyStoreMachine.TestCase
