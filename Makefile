@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples docs perf perf-check coverage faults conform all clean
+.PHONY: install test bench examples docs perf perf-check coverage faults conform lint typecheck all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -30,7 +30,17 @@ perf-check:
 coverage:
 	$(PYTHON) tools/coverage_gate.py --fail-under 96.4 \
 		--min-package repro/faults=90 --min-package repro/gf=90 \
-		--min-package repro/conformance=90 --report
+		--min-package repro/conformance=90 --min-package repro/lint=90 \
+		--report
+
+lint:
+	$(PYTHON) -m repro lint --format json > /tmp/repro-lint.json \
+		|| ($(PYTHON) tools/lint_report.py /tmp/repro-lint.json; exit 1)
+	$(PYTHON) tools/lint_report.py /tmp/repro-lint.json \
+		-o benchmarks/results/lint_report.md
+
+typecheck:
+	$(PYTHON) tools/typecheck.py
 
 faults:
 	$(PYTHON) -m repro faults campaign --qs 2 4 8

@@ -28,7 +28,13 @@ Subcommands
               ``conformance_fuzz.{md,json}`` (non-zero exit on any
               violation or a blind canary), ``check`` runs the
               consistency checker over stored JSONL traces, ``report``
-              re-renders a stored fuzz report.
+              re-renders a stored fuzz report;
+``lint``      determinism static analysis (:mod:`repro.lint`): runs the
+              D1-D6 AST ruleset over ``src/repro`` against the
+              committed ``.lint-baseline.json`` (non-zero exit on any
+              new finding or stale baseline entry); ``--format
+              json|md`` for machine/report output, ``--list-rules``
+              for the rule table.
 
 Examples::
 
@@ -255,6 +261,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--level", choices=["quick", "standard", "full"],
                     default="quick")
     sp.add_argument("--seed", type=int, default=0)
+
+    sp = sub.add_parser(
+        "lint",
+        help="determinism static analysis (rules D1-D6); "
+        "non-zero exit on new findings",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(sp)
     return p
 
 
@@ -630,6 +645,12 @@ def _cmd_expansion(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_verify(args) -> int:
     from repro.core.verification import verify_instance
 
@@ -650,6 +671,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "expansion": _cmd_expansion,
     "verify": _cmd_verify,
+    "lint": _cmd_lint,
 }
 
 

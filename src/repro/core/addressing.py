@@ -506,7 +506,9 @@ class AddressLayer:
         beta = self.basis.vcombine(z, v)
         e_ab = L.vlog(L.vdiv(beta, alpha))  # log(beta/alpha), always defined
 
-        def invert_k(kappa: np.ndarray, valid: np.ndarray):
+        def invert_k(
+            kappa: np.ndarray, valid: np.ndarray
+        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
             """Vector version of _k_invert: returns (s, t, ok)."""
             s_out = np.zeros_like(kappa)
             t_out = np.zeros_like(kappa)

@@ -291,13 +291,13 @@ class PPScheme:
         values: np.ndarray,
         store: SharedCopyStore,
         time: int,
-        **kw,
+        **kw: object,
     ) -> AccessResult:
         """Majority write of ``values`` into the requested variables."""
         return self.access(indices, op="write", store=store, values=values, time=time, **kw)
 
     def read(
-        self, indices: np.ndarray, store: SharedCopyStore, time: int, **kw
+        self, indices: np.ndarray, store: SharedCopyStore, time: int, **kw: object
     ) -> AccessResult:
         """Majority read; ``result.values[i]`` is the freshest written
         value of ``indices[i]`` (or -1 if never written)."""

@@ -15,6 +15,7 @@ and inserts may recycle.
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -212,7 +213,9 @@ class ParallelKVStore:
         return found, slot, claim
 
     def _observe_op(self, op: str, n_keys: int) -> None:
-        """Entry hook for the public batch operations."""
+        """Entry hook for the public batch operations (self-guarded)."""
+        if not _obs.enabled():
+            return
         _obs.tracer().event("kvstore.op", op=op, keys=n_keys)
         if _obs.metrics_enabled():
             _obs.metrics().counter("kvstore.ops", op=op).inc()
@@ -233,7 +236,9 @@ class ParallelKVStore:
 
     # -- public API ------------------------------------------------------------------
 
-    def batch_put(self, keys, values) -> dict:
+    def batch_put(
+        self, keys: Sequence[int | str], values: np.ndarray
+    ) -> dict[str, int]:
         """Insert/update a batch of distinct keys in parallel.
 
         Returns a stats dict (inserted, updated, protocol rounds used).
@@ -291,7 +296,7 @@ class ParallelKVStore:
             "protocol_rounds": self.protocol_rounds,
         }
 
-    def batch_get(self, keys) -> np.ndarray:
+    def batch_get(self, keys: Sequence[int | str]) -> np.ndarray:
         """Parallel lookup; returns values, -1 for missing keys."""
         if _obs.enabled():
             self._observe_op("get", len(keys))
@@ -307,7 +312,7 @@ class ParallelKVStore:
             self._emit_kv_ops("get", keys, out)
         return out
 
-    def batch_delete(self, keys) -> int:
+    def batch_delete(self, keys: Sequence[int | str]) -> int:
         """Parallel delete; returns the number of keys removed."""
         if _obs.enabled():
             self._observe_op("delete", len(keys))

@@ -1,0 +1,6 @@
+"""``python -m repro.lint`` -- standalone entry to the lint CLI."""
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,8 +9,12 @@ the availability simulation in the fault-tolerance experiment family.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # import kept lazy: schemes -> core -> mpc cycle
+    from repro.schemes.base import MemoryScheme
 
 __all__ = ["FaultSchedule", "AvailabilityTrace", "simulate_availability"]
 
@@ -92,7 +96,7 @@ class AvailabilityTrace:
 
 
 def simulate_availability(
-    scheme,
+    scheme: MemoryScheme,
     indices: np.ndarray,
     schedule: FaultSchedule,
     steps: int,

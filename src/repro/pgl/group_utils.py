@@ -10,6 +10,7 @@ H_{n-1} against which the optimized code is compared.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Iterable
 
 from repro.gf.gf2m import GF2m
 from repro.pgl.matrix import Mat, pgl2_identity, pgl2_inv, pgl2_mul
@@ -44,8 +45,9 @@ def generate_subgroup(F: GF2m, generators: list[Mat], cap: int = 1 << 20) -> set
 
     gens = [pgl2_canon(F, g) for g in generators]
     gens += [pgl2_inv(F, g) for g in gens]
-    seen: set[Mat] = {pgl2_identity()}
-    frontier: deque[Mat] = deque(seen)
+    start = pgl2_identity()
+    seen: set[Mat] = {start}
+    frontier: deque[Mat] = deque([start])
     while frontier:
         cur = frontier.popleft()
         for g in gens:
@@ -63,24 +65,27 @@ def is_subgroup(F: GF2m, elements: set[Mat]) -> bool:
     closure, inverses)."""
     if pgl2_identity() not in elements:
         return False
-    for a in elements:
+    ordered = sorted(elements)
+    for a in ordered:
         if pgl2_inv(F, a) not in elements:
             return False
-        for b in elements:
+        for b in ordered:
             if pgl2_mul(F, a, b) not in elements:
                 return False
     return True
 
 
 def left_cosets(
-    F: GF2m, subgroup: set[Mat], group_elements
+    F: GF2m, subgroup: set[Mat], group_elements: Iterable[Mat]
 ) -> list[set[Mat]]:
     """Partition of the supplied group elements into left cosets
     ``g * subgroup``."""
     remaining = set(group_elements)
     out: list[set[Mat]] = []
     while remaining:
-        g = next(iter(remaining))
+        # min() keeps the coset order deterministic (set pop order is
+        # arbitrary across hash seeds)
+        g = min(remaining)
         coset = {pgl2_mul(F, g, h) for h in subgroup}
         if not coset <= remaining:
             raise ValueError("elements are not a union of cosets")

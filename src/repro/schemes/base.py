@@ -30,7 +30,13 @@ class KeyedCopyStore:
         self.n_modules = n_modules
         self._cells: dict[tuple[int, int], tuple[int, int]] = {}
 
-    def write(self, modules, slots, values, time) -> None:
+    def write(
+        self,
+        modules: np.ndarray,
+        slots: np.ndarray,
+        values: np.ndarray,
+        time: int | np.ndarray,
+    ) -> None:
         """Write (value, time) to each (module, slot) cell."""
         times = np.broadcast_to(np.asarray(time), np.shape(modules))
         for m, s, v, t in zip(
@@ -38,7 +44,9 @@ class KeyedCopyStore:
         ):
             self._cells[(int(m), int(s))] = (int(v), int(t))
 
-    def read(self, modules, slots):
+    def read(
+        self, modules: np.ndarray, slots: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Read (values, stamps); unwritten cells give (0, -1)."""
         vals = np.empty(np.shape(modules), dtype=np.int64).ravel()
         stamps = np.empty_like(vals)
@@ -82,7 +90,7 @@ class MemoryScheme(ABC):
             np.asarray(indices, dtype=np.int64)[:, None], modules.shape
         )
 
-    def make_store(self):
+    def make_store(self) -> object:
         """A store suited to this scheme (sparse keyed by default)."""
         return KeyedCopyStore(self.N)
 
@@ -99,7 +107,7 @@ class MemoryScheme(ABC):
         indices: np.ndarray,
         op: str = "count",
         *,
-        store=None,
+        store: object | None = None,
         values: np.ndarray | None = None,
         time: int = 0,
         arbitration: str = "lowest",
@@ -147,11 +155,20 @@ class MemoryScheme(ABC):
             var_ids=indices,
         )
 
-    def read(self, indices, store, time: int, **kw) -> AccessResult:
+    def read(
+        self, indices: np.ndarray, store: object, time: int, **kw: object
+    ) -> AccessResult:
         """Quorum read; ``.values`` holds the freshest values."""
         return self.access(indices, op="read", store=store, time=time, **kw)
 
-    def write(self, indices, values, store, time: int, **kw) -> AccessResult:
+    def write(
+        self,
+        indices: np.ndarray,
+        values: np.ndarray,
+        store: object,
+        time: int,
+        **kw: object,
+    ) -> AccessResult:
         """Quorum write of ``values``."""
         return self.access(indices, op="write", store=store, values=values, time=time, **kw)
 

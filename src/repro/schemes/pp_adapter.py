@@ -40,6 +40,6 @@ class PPAdapter(MemoryScheme):
         mats = self.scheme.addressing.vunrank(np.asarray(indices, dtype=np.int64))
         return self.scheme._vslots(mats, modules)
 
-    def make_store(self):
+    def make_store(self) -> object:
         """Dense (N x q^{n-1}) timestamped store."""
         return self.scheme.make_store()

@@ -1,0 +1,6 @@
+"""Seeded D5 violation: mutable default argument aliases across calls."""
+
+
+def collect(x: int, acc: list = []) -> list:
+    acc.append(x)
+    return acc

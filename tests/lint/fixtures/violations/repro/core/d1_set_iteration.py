@@ -1,0 +1,8 @@
+"""Seeded D1 violation: unordered set walk in a deterministic zone."""
+
+
+def schedule(modules: set[int]) -> list[int]:
+    order = []
+    for m in modules:  # arbitrary hash order -> nondeterministic schedule
+        order.append(m)
+    return order

@@ -1,0 +1,7 @@
+"""Seeded D2 violation: implicit global RNG in protocol code."""
+
+import random
+
+
+def arbitrate(n: int) -> int:
+    return random.randrange(n)  # unseeded draw: replay diverges

@@ -1,0 +1,11 @@
+"""Seeded D6 violation: a lost quorum absorbed into a default answer."""
+
+from repro.faults.report import QuorumLostError
+
+
+def read_or_zero(store: object, key: int) -> int:
+    try:
+        return store.read(key)
+    except QuorumLostError:
+        pass
+    return 0

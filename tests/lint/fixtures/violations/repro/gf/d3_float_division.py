@@ -1,0 +1,5 @@
+"""Seeded D3 violation: float round-trip in field arithmetic."""
+
+
+def half_code(code: int) -> int:
+    return int(code / 2)  # true division loses exactness above 2**53

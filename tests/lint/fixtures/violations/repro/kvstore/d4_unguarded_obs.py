@@ -1,0 +1,7 @@
+"""Seeded D4 violation: trace emission outside the enabled() guard."""
+
+import repro.obs as _obs
+
+
+def touch(key: str) -> None:
+    _obs.tracer().event("kv.touch", key=key)  # pays tracer cost always

@@ -1,0 +1,136 @@
+"""Baseline semantics: round-trip, justification enforcement, staleness."""
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, BaselineEntry, lint_source
+from repro.lint.baseline import PLACEHOLDER_REASON, find_default_baseline
+
+GF = "repro/gf/_snippet.py"
+
+
+def findings_for(src: str, path: str = GF):
+    return lint_source(src, path)
+
+
+class TestApply:
+    def test_matching_finding_is_baselined(self):
+        found = findings_for("x = 0.5\n")
+        base = Baseline([BaselineEntry(
+            rule="D3", path=GF, snippet="x = 0.5", reason="test table",
+        )])
+        res = base.apply(found)
+        assert res.new == [] and len(res.baselined) == 1 and res.stale == []
+
+    def test_unmatched_finding_is_new(self):
+        found = findings_for("x = 0.5\n")
+        res = Baseline().apply(found)
+        assert len(res.new) == 1 and res.baselined == []
+
+    def test_fingerprint_ignores_line_numbers(self):
+        # the same snippet moved down two lines still matches
+        found = findings_for("a = 1\nb = 2\nx = 0.5\n")
+        base = Baseline([BaselineEntry(
+            rule="D3", path=GF, snippet="x = 0.5", reason="test table",
+        )])
+        res = base.apply(found)
+        assert res.new == [] and len(res.baselined) == 1
+
+    def test_stale_entry_reported(self):
+        base = Baseline([BaselineEntry(
+            rule="D3", path=GF, snippet="gone = 0.5", reason="was removed",
+        )])
+        res = base.apply(findings_for("y = 1\n"))
+        assert res.stale == base.entries
+
+    def test_count_budget_caps_matches(self):
+        # two identical snippets, budget of one: second is new
+        found = findings_for("x = 0.5\nif True:\n    x = 0.5\n")
+        assert len(found) == 2
+        base = Baseline([BaselineEntry(
+            rule="D3", path=GF, snippet="x = 0.5", reason="one only",
+        )])
+        res = base.apply(found)
+        assert len(res.baselined) == 1 and len(res.new) == 1
+
+    def test_count_two_covers_both(self):
+        found = findings_for("x = 0.5\nif True:\n    x = 0.5\n")
+        base = Baseline([BaselineEntry(
+            rule="D3", path=GF, snippet="x = 0.5", reason="both", count=2,
+        )])
+        res = base.apply(found)
+        assert len(res.baselined) == 2 and res.new == [] and res.stale == []
+
+
+class TestLoadWrite:
+    def test_round_trip(self, tmp_path):
+        found = findings_for("x = 0.5\n")
+        base = Baseline.from_findings(found)
+        base.entries[0].reason = "justified for the round-trip test"
+        p = tmp_path / ".lint-baseline.json"
+        base.write(str(p))
+        loaded = Baseline.load(str(p))
+        assert [e.fingerprint for e in loaded.entries] == [
+            e.fingerprint for e in base.entries
+        ]
+        assert loaded.apply(found).new == []
+
+    def test_placeholder_reason_rejected(self, tmp_path):
+        base = Baseline.from_findings(findings_for("x = 0.5\n"))
+        assert base.entries[0].reason == PLACEHOLDER_REASON
+        p = tmp_path / ".lint-baseline.json"
+        base.write(str(p))
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(str(p))
+
+    def test_empty_reason_rejected(self, tmp_path):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "rule": "D3", "path": GF, "snippet": "x = 0.5", "reason": "  ",
+            }],
+        }))
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(str(p))
+
+    def test_missing_field_rejected(self, tmp_path):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"rule": "D3", "path": GF, "reason": "r"}],
+        }))
+        with pytest.raises(ValueError, match="missing fields"):
+            Baseline.load(str(p))
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="unsupported"):
+            Baseline.load(str(p))
+
+    def test_from_findings_preserves_prior_reasons(self):
+        found = findings_for("x = 0.5\n")
+        prior = Baseline([BaselineEntry(
+            rule="D3", path=GF, snippet="x = 0.5", reason="kept reason",
+        )])
+        regenerated = Baseline.from_findings(found, prior)
+        assert regenerated.entries[0].reason == "kept reason"
+
+
+class TestDiscovery:
+    def test_find_default_baseline_walks_up(self, tmp_path):
+        (tmp_path / ".lint-baseline.json").write_text("{}")
+        nested = tmp_path / "src" / "repro"
+        nested.mkdir(parents=True)
+        assert find_default_baseline([str(nested)]) == str(
+            tmp_path / ".lint-baseline.json"
+        )
+
+    def test_find_default_baseline_none(self, tmp_path):
+        nested = tmp_path / "deep" / "er"
+        nested.mkdir(parents=True)
+        # no baseline anywhere above tmp_path (tmpdirs live outside the repo)
+        found = find_default_baseline([str(nested)])
+        assert found is None or not found.startswith(str(tmp_path))

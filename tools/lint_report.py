@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Summarize ``repro lint --format json`` output into a markdown report.
+
+Part of the benchmarks/results house pipeline: CI (and ``make lint``)
+captures the machine-readable findings once, and this tool renders the
+human report from that JSON without re-running the engine --
+
+    PYTHONPATH=src python -m repro lint --format json > /tmp/lint.json
+    python tools/lint_report.py /tmp/lint.json \
+        -o benchmarks/results/lint_report.md
+
+With no positional argument the JSON is read from stdin; with no ``-o``
+the markdown goes to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "json_path", nargs="?", default=None,
+        help="lint JSON file (default: stdin)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="markdown output path (default: stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.json_path:
+        with open(args.json_path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    else:
+        data = json.load(sys.stdin)
+
+    from repro.lint.report import LintResult, render_markdown
+
+    try:
+        result = LintResult.from_dict(data)
+    except (KeyError, ValueError) as exc:
+        print(f"error: bad lint JSON: {exc}", file=sys.stderr)
+        return 2
+
+    md = render_markdown(result)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(md)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(md, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

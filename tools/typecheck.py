@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Strict-typing gate: annotation-coverage ratchet + optional mypy layer.
+
+Two layers, so the gate is useful both in the dependency-free container
+(stdlib only) and in CI (where mypy is pip-installed):
+
+1. **Annotation coverage (always runs).**  An ``ast`` pass measures,
+   per package, the share of *public* callables (functions and methods
+   not starting with ``_``, plus ``__init__``) whose signatures are
+   fully annotated -- every parameter except ``self``/``cls`` and the
+   return type.  Floors live in ``tools/typecheck_ratchet.json``; the
+   strict tier (``repro/gf``, ``repro/core``) is pinned at 100, the
+   rest ratchet upward: measure, then run ``--update`` to raise floors
+   to the new measurement (floors never go down automatically).
+
+2. **mypy (runs when importable).**  Invokes ``mypy --config-file
+   mypy.ini src/repro``; per-package strictness is configured there
+   (strict tier: ``disallow_untyped_defs`` etc.).  Any error fails the
+   gate.  When mypy is absent the layer reports SKIPPED and the gate
+   rests on layer 1 -- CI installs mypy, so the full gate runs there.
+
+Usage::
+
+    python tools/typecheck.py [--report] [--update]
+
+Exit status: 0 when every floor holds (and mypy, if present, is
+clean); 1 on a shortfall; 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import math
+import os
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+PKG = os.path.join(SRC, "repro")
+RATCHET_PATH = os.path.join(ROOT, "tools", "typecheck_ratchet.json")
+MYPY_INI = os.path.join(ROOT, "mypy.ini")
+
+#: packages that must stay at 100% public-API annotation coverage
+STRICT_TIER = ("repro/gf", "repro/core")
+
+
+def iter_source_files() -> list[str]:
+    out: list[str] = []
+    for dirpath, _dirnames, filenames in os.walk(PKG):
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def package_of(path: str) -> str:
+    """``repro/<subpackage>`` (or ``repro`` for top-level modules)."""
+    rel = os.path.relpath(path, SRC).replace(os.sep, "/")
+    parts = rel.split("/")
+    return "/".join(parts[:2]) if len(parts) > 2 else parts[0]
+
+
+def is_public_callable(node: ast.AST, class_ctx: bool) -> bool:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    name = node.name
+    if name == "__init__":
+        return class_ctx
+    return not name.startswith("_")
+
+
+def fully_annotated(fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                    class_ctx: bool) -> bool:
+    args = fn.args
+    params = list(args.posonlyargs) + list(args.args)
+    if class_ctx and params and params[0].arg in ("self", "cls"):
+        params = params[1:]
+    params += list(args.kwonlyargs)
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            params.append(extra)
+    if any(p.annotation is None for p in params):
+        return False
+    if fn.returns is None:
+        # __init__ with annotated params counts: the return is self-evident
+        return fn.name == "__init__"
+    return True
+
+
+def measure() -> tuple[dict[str, tuple[int, int]], list[str]]:
+    """Per-package (annotated, public) counts + the unannotated list."""
+    per_pkg: dict[str, tuple[int, int]] = {}
+    missing: list[str] = []
+    for path in iter_source_files():
+        with open(path, "rb") as fh:
+            tree = ast.parse(fh.read(), filename=path)
+        pkg = package_of(path)
+        hit, total = per_pkg.get(pkg, (0, 0))
+
+        def visit(node: ast.AST, class_ctx: bool) -> None:
+            nonlocal hit, total
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    visit(child, True)
+                elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if is_public_callable(child, class_ctx):
+                        total += 1
+                        if fully_annotated(child, class_ctx):
+                            hit += 1
+                        else:
+                            rel = os.path.relpath(path, SRC)
+                            missing.append(
+                                f"{rel}:{child.lineno}: {child.name}"
+                            )
+                    visit(child, False)
+                else:
+                    visit(child, class_ctx)
+
+        visit(tree, False)
+        per_pkg[pkg] = (hit, total)
+    return per_pkg, missing
+
+
+def pct(hit: int, total: int) -> float:
+    return 100.0 * hit / total if total else 100.0
+
+
+def floor_of(got: float) -> float:
+    """Round DOWN to one decimal so a freshly seeded floor never exceeds
+    the measurement it came from."""
+    return math.floor(got * 10.0) / 10.0
+
+
+def load_ratchet() -> dict[str, float]:
+    with open(RATCHET_PATH, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return {k: float(v) for k, v in data["annotation_floors"].items()}
+
+
+def save_ratchet(floors: dict[str, float]) -> None:
+    data = {
+        "comment": (
+            "Per-package public-API annotation-coverage floors (percent). "
+            "The strict tier (repro/gf, repro/core) is pinned at 100; the "
+            "rest only ratchet up -- run tools/typecheck.py --update after "
+            "annotating to lock in progress."
+        ),
+        "annotation_floors": {
+            k: floors[k] for k in sorted(floors)
+        },
+    }
+    with open(RATCHET_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+
+
+def run_mypy() -> tuple[str, int | None]:
+    """Returns (status line, error count or None when skipped)."""
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return "mypy: SKIPPED (not installed; CI runs this layer)", None
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", MYPY_INI,
+         os.path.join("src", "repro")],
+        cwd=ROOT, capture_output=True, text=True,
+    )
+    errors = sum(
+        1 for line in proc.stdout.splitlines() if ": error:" in line
+    )
+    tail = proc.stdout.strip().splitlines()[-1] if proc.stdout.strip() else ""
+    return f"mypy: {tail or 'no output'}", (
+        errors if proc.returncode else 0
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", action="store_true",
+                        help="list every unannotated public callable")
+    parser.add_argument("--update", action="store_true",
+                        help="raise ratchet floors to current measurements")
+    parser.add_argument("--no-mypy", action="store_true",
+                        help="skip the mypy layer even if installed")
+    args = parser.parse_args(argv)
+
+    per_pkg, missing = measure()
+    floors = load_ratchet()
+    code = 0
+
+    total_hit = sum(h for h, _ in per_pkg.values())
+    total_all = sum(t for _, t in per_pkg.values())
+    print(
+        f"annotation coverage: {total_hit}/{total_all} public callables "
+        f"fully annotated ({pct(total_hit, total_all):.1f}%)"
+    )
+    for pkg in sorted(per_pkg):
+        hit, total = per_pkg[pkg]
+        got = pct(hit, total)
+        floor = floors.get(pkg)
+        strict = pkg in STRICT_TIER
+        if floor is None:
+            floors[pkg] = 100.0 if strict else floor_of(got)
+            floor = floors[pkg]
+        verdict = "ok" if got >= floor else "FAIL"
+        if got < floor:
+            code = 1
+        tier = "strict" if strict else "ratchet"
+        print(
+            f"  {pkg:22s} {hit:3d}/{total:3d} ({got:5.1f}%) "
+            f"floor {floor:5.1f} [{tier}] -- {verdict}"
+        )
+    if args.report and missing:
+        print("\nunannotated public callables:")
+        for m in missing:
+            print(f"  {m}")
+
+    if args.update:
+        for pkg, (hit, total) in per_pkg.items():
+            got = floor_of(pct(hit, total))
+            if pkg in STRICT_TIER:
+                floors[pkg] = 100.0
+            else:
+                floors[pkg] = max(floors.get(pkg, 0.0), got)
+        save_ratchet(floors)
+        print(f"ratchet floors updated -> {RATCHET_PATH}")
+
+    if not args.no_mypy:
+        line, errors = run_mypy()
+        print(line)
+        if errors:
+            code = 1
+    return code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
