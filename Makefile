@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples docs perf perf-check coverage faults conform lint typecheck all clean
+.PHONY: install test bench examples docs perf perf-check coverage faults conform watch lint typecheck all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -31,6 +31,7 @@ coverage:
 	$(PYTHON) tools/coverage_gate.py --fail-under 96.4 \
 		--min-package repro/faults=90 --min-package repro/gf=90 \
 		--min-package repro/conformance=90 --min-package repro/lint=90 \
+		--min-package repro/network=95 \
 		--report
 
 lint:
@@ -47,6 +48,12 @@ faults:
 
 conform:
 	$(PYTHON) -m repro conform fuzz --seed 0 --ops 2000
+
+watch:
+	$(PYTHON) -m repro watch fuzz --seed 0 --ops 1000000 \
+		--state-budget 200000 --rss-budget-mb 512
+	$(PYTHON) -m repro watch attack --seed 0
+	$(PYTHON) tools/watch_report.py
 
 record:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

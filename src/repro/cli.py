@@ -29,6 +29,15 @@ Subcommands
               violation or a blind canary), ``check`` runs the
               consistency checker over stored JSONL traces, ``report``
               re-renders a stored fuzz report;
+``watch``     live watchdog (:mod:`repro.conformance.streaming`):
+              ``fuzz`` runs a workload with the online windowed checker
+              and health telemetry attached to the event bus, printing
+              rolling snapshots and writing ``watch_fuzz.json``
+              (non-zero exit on violations, dropped events, or a busted
+              ``--state-budget`` / ``--rss-budget-mb``), ``attack``
+              runs the stale-majority online canary, which must flag
+              the q/2+1 rollback *mid-run* and stay silent on the
+              <= q/2 control, writing ``watch_attack.json``;
 ``lint``      determinism static analysis (:mod:`repro.lint`): runs the
               D1-D6 AST ruleset over ``src/repro`` against the
               committed ``.lint-baseline.json`` (non-zero exit on any
@@ -54,6 +63,8 @@ Examples::
     python -m repro conform fuzz --seed 0 --ops 2000
     python -m repro conform check trace.jsonl
     python -m repro conform report
+    python -m repro watch fuzz --ops 100000 --scheme pp2 --state-budget 200000
+    python -m repro watch attack --seed 0
 """
 
 from __future__ import annotations
@@ -69,6 +80,10 @@ from repro.core.bounds import expansion_lower_bound, phi_bound
 from repro.core.scheme import PPScheme
 
 __all__ = ["main", "build_parser"]
+
+#: mirror of :data:`repro.conformance.streaming.SCHEME_KEYS` -- kept as a
+#: literal so building the parser does not import the conformance stack
+_WATCH_SCHEMES = ("single", "mv", "uw", "grid", "pp2", "pp4")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -256,6 +271,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory holding conformance_fuzz.json",
     )
 
+    sp = sub.add_parser(
+        "watch", help="live watchdog: streaming conformance + health"
+    )
+    wsub = sp.add_subparsers(dest="verb", required=True)
+
+    vp = wsub.add_parser(
+        "fuzz",
+        help="run a workload under the online watchdog; non-zero exit "
+        "on violations, event drops, or a busted memory budget",
+    )
+    vp.add_argument("--seed", type=int, default=0)
+    vp.add_argument("--ops", type=int, default=2000,
+                    help="minimum single operations in the workload")
+    vp.add_argument("--scheme", choices=_WATCH_SCHEMES, default="pp2",
+                    help="memory scheme under watch")
+    vp.add_argument("--window", type=int, default=8,
+                    help="rounds the streaming checker keeps open")
+    vp.add_argument("--max-batch", type=int, default=32,
+                    help="largest batch the plan may issue")
+    vp.add_argument("--snapshot-every", type=int, default=50,
+                    help="health snapshot cadence, in batches")
+    vp.add_argument("--state-budget", type=int, default=None,
+                    help="fail if peak checker state exceeds this many "
+                    "entries (bounded-memory assertion)")
+    vp.add_argument("--rss-budget-mb", type=int, default=None,
+                    help="fail if process peak RSS exceeds this many MiB")
+    vp.add_argument(
+        "--out", metavar="DIR",
+        default=os.path.join("benchmarks", "results"),
+        help="directory for watch_fuzz.json ('-' to skip writing)",
+    )
+
+    vp = wsub.add_parser(
+        "attack",
+        help="stale-majority online canary: the watchdog must flag the "
+        "q/2+1 attack mid-run and stay silent on the <= q/2 control",
+    )
+    vp.add_argument("--seed", type=int, default=0)
+    vp.add_argument("--victims", type=int, default=3)
+    vp.add_argument("--window", type=int, default=8,
+                    help="rounds the streaming checker keeps open")
+    vp.add_argument(
+        "--out", metavar="DIR",
+        default=os.path.join("benchmarks", "results"),
+        help="directory for watch_attack.json ('-' to skip writing)",
+    )
+
     sp = sub.add_parser("verify", help="run the instance self-checks")
     add_qn(sp)
     sp.add_argument("--level", choices=["quick", "standard", "full"],
@@ -441,6 +503,13 @@ def _perf_check(args) -> int:
     from repro.obs.perf import RegressionDetector, Trajectory
 
     traj = Trajectory.load(args.dir)
+    if len(traj) == 0:
+        print(
+            "perf check: no baseline yet (no BENCH_*.json run records in "
+            f"{args.dir}) -- run 'repro perf record' to record this "
+            "machine's baseline; nothing to gate, ok"
+        )
+        return 0
     det = RegressionDetector(
         traj, window=args.window, ratio=args.ratio, mad_k=args.mad_k
     )
@@ -609,6 +678,114 @@ def _cmd_conform(args) -> int:
     }[args.verb](args)
 
 
+def _peak_rss_mb() -> float:
+    """Process peak RSS in MiB (ru_maxrss is KiB on Linux)."""
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _write_watch_json(out_dir: str, basename: str, payload: dict) -> None:
+    import json
+
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, basename)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"report -> {path}", file=sys.stderr)
+
+
+def _watch_fuzz(args) -> int:
+    from repro.conformance.streaming import stream_fuzz
+
+    def progress(snap: object) -> None:
+        print(
+            f"  round {snap.round:>6}  lag {snap.checker_lag:>3}  "
+            f"state {snap.state_size:>7}  violations {snap.violations}"
+        )
+
+    print(
+        f"watch fuzz: scheme={args.scheme} ops>={args.ops} "
+        f"seed={args.seed} window={args.window}"
+    )
+    result = stream_fuzz(
+        scheme=args.scheme,
+        total_ops=args.ops,
+        seed=args.seed,
+        window=args.window,
+        max_batch=args.max_batch,
+        snapshot_every=args.snapshot_every,
+        on_snapshot=progress,
+    )
+    rss_mb = _peak_rss_mb()
+    ok = result.ok
+    print(
+        f"{result.events} events over {result.rounds} rounds; "
+        f"peak checker state {result.peak_state} entries, "
+        f"{result.events_dropped} dropped, "
+        f"{result.report.n_violations} violation(s); "
+        f"peak RSS {rss_mb:.0f} MiB"
+    )
+    for v in result.report.violations:
+        print(f"  {v.describe()}", file=sys.stderr)
+    if args.state_budget is not None and result.peak_state > args.state_budget:
+        print(
+            f"state budget busted: peak {result.peak_state} > "
+            f"{args.state_budget} entries",
+            file=sys.stderr,
+        )
+        ok = False
+    if args.rss_budget_mb is not None and rss_mb > args.rss_budget_mb:
+        print(
+            f"RSS budget busted: peak {rss_mb:.0f} MiB > "
+            f"{args.rss_budget_mb} MiB",
+            file=sys.stderr,
+        )
+        ok = False
+    if args.out != "-":
+        payload = result.to_dict()
+        payload["peak_rss_mb"] = round(rss_mb, 1)
+        payload["state_budget"] = args.state_budget
+        payload["rss_budget_mb"] = args.rss_budget_mb
+        payload["ok"] = bool(ok)
+        _write_watch_json(args.out, "watch_fuzz.json", payload)
+    print("watchdog: " + ("clean" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def _watch_attack(args) -> int:
+    from repro.conformance.streaming import run_watchdog_canary
+
+    result = run_watchdog_canary(
+        seed=args.seed, n_victims=args.victims, window=args.window
+    )
+    verdict = "DETECTED ONLINE" if result.detected_online else "MISSED"
+    print(
+        f"stale-majority attack: {verdict} "
+        f"({result.silent_wrong_reads} silently-wrong read(s) flagged at "
+        f"round {result.detected_at_round} of {result.last_round})"
+    )
+    ctrl = "clean" if result.control_clean else "NOT CLEAN"
+    print(
+        f"<= q/2 control: {ctrl} ({result.control_violations} violation(s), "
+        f"{result.control_degraded} degraded, {result.control_lost} lost)"
+    )
+    if not result.ok:
+        for v in result.report.violations:
+            print(f"  {v.describe()}", file=sys.stderr)
+    if args.out != "-":
+        _write_watch_json(args.out, "watch_attack.json", result.to_dict())
+    return 0 if result.ok else 1
+
+
+def _cmd_watch(args) -> int:
+    return {
+        "fuzz": _watch_fuzz,
+        "attack": _watch_attack,
+    }[args.verb](args)
+
+
 def _cmd_sweep(args) -> int:
     t = Table(
         ["n", "N", "Phi", "bound shape", "total iterations"],
@@ -668,6 +845,7 @@ _COMMANDS = {
     "perf": _cmd_perf,
     "faults": _cmd_faults,
     "conform": _cmd_conform,
+    "watch": _cmd_watch,
     "sweep": _cmd_sweep,
     "expansion": _cmd_expansion,
     "verify": _cmd_verify,

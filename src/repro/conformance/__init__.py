@@ -15,13 +15,22 @@ This package turns that contract into an executable oracle:
   through all memory-organization schemes plus a plain-dict oracle and
   diffs reads, final state, and traces; includes the stale-majority
   canary that proves the checker can catch the one fault the protocol
-  cannot mask.
+  cannot mask;
+* :mod:`repro.conformance.streaming` -- the same checker semantics
+  incrementally, fed live from the :mod:`repro.obs` event bus with a
+  bounded round-window (:class:`StreamingChecker`), plus the
+  :class:`Watchdog` that couples it to rolling health telemetry and an
+  online version of the stale-majority canary that must flag the
+  attack *mid-run*.
 
-CLI: ``repro conform fuzz | check | report`` (exit 1 on violations).
+CLI: ``repro conform fuzz | check | report`` (exit 1 on violations),
+``repro watch fuzz | attack`` for the live watchdog.
 """
 
 from repro.conformance.checker import (
     ConsistencyChecker,
+    KvOpCore,
+    MemOpCore,
     Violation,
     ViolationReport,
 )
@@ -42,9 +51,22 @@ from repro.conformance.recorder import (
     load_mem_ops,
     record,
 )
+from repro.conformance.streaming import (
+    SCHEME_KEYS,
+    HealthSnapshot,
+    OnlineCanaryResult,
+    StreamFuzzResult,
+    StreamingChecker,
+    Watchdog,
+    run_watchdog_canary,
+    scheme_by_key,
+    stream_fuzz,
+)
 
 __all__ = [
     "ConsistencyChecker",
+    "KvOpCore",
+    "MemOpCore",
     "Violation",
     "ViolationReport",
     "CanaryResult",
@@ -60,4 +82,13 @@ __all__ = [
     "load_kv_ops",
     "load_mem_ops",
     "record",
+    "SCHEME_KEYS",
+    "HealthSnapshot",
+    "OnlineCanaryResult",
+    "StreamFuzzResult",
+    "StreamingChecker",
+    "Watchdog",
+    "run_watchdog_canary",
+    "scheme_by_key",
+    "stream_fuzz",
 ]

@@ -38,6 +38,7 @@ variable) and the report is machine-readable
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
+from typing import Callable
 
 from repro.conformance.recorder import (
     KvOp,
@@ -46,7 +47,13 @@ from repro.conformance.recorder import (
     mem_ops_from_events,
 )
 
-__all__ = ["Violation", "ViolationReport", "ConsistencyChecker"]
+__all__ = [
+    "Violation",
+    "ViolationReport",
+    "ConsistencyChecker",
+    "MemOpCore",
+    "KvOpCore",
+]
 
 
 @dataclass(frozen=True)
@@ -159,6 +166,186 @@ class ViolationReport:
 _OP_RANK = {"write": 0, "read": 1}
 
 
+class MemOpCore:
+    """Incremental serial-memory-per-variable verifier.
+
+    Feed :class:`~repro.conformance.recorder.MemOp` records **in
+    arbitration order** -- sorted by ``(round, writes-before-reads,
+    seq)`` -- and each call classifies the operation immediately.  The
+    batch :class:`ConsistencyChecker` sorts a whole trace and feeds it
+    through one core; the streaming checker
+    (:mod:`repro.conformance.streaming`) feeds closed round-windows and
+    calls :meth:`retire` so retained state stays bounded.
+
+    State per variable: the current winning write (kept for the
+    variable's lifetime), the set of past written values with their last
+    write round (prunable -- it only classifies stale vs phantom), and
+    the post-lost-write taint set (cleared by the next successful
+    write).
+    """
+
+    def __init__(
+        self,
+        max_violations: int = 100,
+        on_violation: "Callable[[Violation], None] | None" = None,
+    ):
+        if max_violations < 1:
+            raise ValueError("max_violations must be >= 1")
+        self.max_violations = max_violations
+        self.on_violation = on_violation
+        self.report = ViolationReport()
+        self._cur: dict[int, tuple[int, int]] = {}  # var -> (round, value)
+        self._past: dict[int, dict[int, int]] = {}  # var -> value -> round
+        self._taint: dict[int, set[int]] = {}  # var -> acceptable values
+
+    def feed(self, o: MemOp) -> Violation | None:
+        """Classify one operation; returns the violation, if any."""
+        rep = self.report
+        if o.op == "write":
+            rep.writes_seen += 1
+            self._past.setdefault(o.var, {})[o.value] = o.round
+            if o.lost:
+                # indeterminate: old winner and attempted value both
+                # acceptable until the next successful write
+                have = self._cur.get(o.var)
+                self._taint.setdefault(o.var, set()).update(
+                    {have[1] if have else -1, o.value}
+                )
+                rep.lost_exempt += 1
+                return None
+            self._taint.pop(o.var, None)
+            have = self._cur.get(o.var)
+            if (
+                have is None
+                or o.round > have[0]
+                # same-round arbitration: larger value wins, the
+                # protocol's (stamp << 32) | value packing order
+                or (o.round == have[0] and o.value > have[1])
+            ):
+                self._cur[o.var] = (o.round, o.value)
+            return None
+        # -- read ----------------------------------------------------
+        if o.lost:
+            rep.lost_exempt += 1
+            return None
+        rep.reads_checked += 1
+        have = self._cur.get(o.var)
+        expected = have[1] if have is not None else -1
+        if o.value == expected:
+            return None
+        accept = self._taint.get(o.var)
+        if accept is not None and o.value in accept:
+            rep.tainted_accepted += 1
+            return None
+        if expected == -1:
+            kind = "phantom-read"
+        elif o.value == -1:
+            kind = "dropped-read"
+        elif o.value in self._past.get(o.var, ()):
+            kind = "stale-read"
+        else:
+            kind = "phantom-read"
+        v = Violation(
+            kind=kind, var=str(o.var), round=o.round, proc=o.proc,
+            expected=expected, observed=o.value,
+        )
+        self._record(v)
+        return v
+
+    def retire(self, horizon: int) -> None:
+        """Drop past-value entries last written before round ``horizon``.
+
+        The current winner and the taint set survive (they define
+        correctness, not classification), so retiring only narrows the
+        stale-vs-phantom distinction for reads that reach back further
+        than the caller's window -- never the violation/no-violation
+        verdict itself.
+        """
+        for var in list(self._past):
+            vals = self._past[var]
+            keep = {v: r for v, r in vals.items() if r >= horizon}
+            winner = self._cur.get(var)
+            if winner is not None and winner[1] not in keep:
+                keep[winner[1]] = winner[0]
+            if keep:
+                self._past[var] = keep
+            else:
+                del self._past[var]
+
+    @property
+    def state_size(self) -> int:
+        """Retained entries across all per-variable structures."""
+        return (
+            len(self._cur)
+            + sum(len(v) for v in self._past.values())
+            + sum(len(v) for v in self._taint.values())
+        )
+
+    def _record(self, v: Violation) -> None:
+        rep = self.report
+        if len(rep.violations) < self.max_violations:
+            rep.violations.append(v)
+        else:
+            rep.truncated += 1
+        if self.on_violation is not None:
+            self.on_violation(v)
+
+
+class KvOpCore:
+    """Incremental dict-semantics verifier for ``kv.op`` streams.
+
+    Feed :class:`~repro.conformance.recorder.KvOp` records sorted by
+    ``(round, seq)``.  State is the live key->value model -- already
+    O(live keys), so :meth:`retire` exists only for interface symmetry.
+    """
+
+    def __init__(
+        self,
+        max_violations: int = 100,
+        on_violation: "Callable[[Violation], None] | None" = None,
+    ):
+        if max_violations < 1:
+            raise ValueError("max_violations must be >= 1")
+        self.max_violations = max_violations
+        self.on_violation = on_violation
+        self.report = ViolationReport()
+        self._model: dict[str, int] = {}
+
+    def feed(self, o: KvOp) -> Violation | None:
+        """Apply one kv operation to the model; returns any violation."""
+        rep = self.report
+        rep.kv_checked += 1
+        if o.op == "put":
+            self._model[o.key] = o.value
+            return None
+        if o.op == "delete":
+            self._model.pop(o.key, None)
+            return None
+        expected = self._model.get(o.key, -1)
+        if o.value == expected:
+            return None
+        kind = "kv-stale-get" if expected != -1 else "kv-phantom-get"
+        v = Violation(
+            kind=kind, var=o.key, round=o.round, proc=-1,
+            expected=expected, observed=o.value,
+        )
+        if len(rep.violations) < self.max_violations:
+            rep.violations.append(v)
+        else:
+            rep.truncated += 1
+        if self.on_violation is not None:
+            self.on_violation(v)
+        return v
+
+    def retire(self, horizon: int) -> None:
+        """No-op: the kv model is already bounded by live keys."""
+
+    @property
+    def state_size(self) -> int:
+        """Live keys in the model."""
+        return len(self._model)
+
+
 class ConsistencyChecker:
     """Verify recorded traces against serial-memory-per-variable semantics.
 
@@ -179,88 +366,19 @@ class ConsistencyChecker:
     def check_mem_ops(self, ops: list[MemOp]) -> ViolationReport:
         """Check a sequence of :class:`MemOp` records (any order; the
         trace's round/seq fields define the arbitration order)."""
-        rep = ViolationReport()
-        cur: dict[int, tuple[int, int]] = {}  # var -> (round, winning value)
-        past: dict[int, set[int]] = {}  # var -> values ever written
-        taint: dict[int, set[int]] = {}  # var -> acceptable after lost write
+        core = MemOpCore(max_violations=self.max_violations)
         for o in sorted(ops, key=lambda o: (o.round, _OP_RANK[o.op], o.seq)):
-            if o.op == "write":
-                rep.writes_seen += 1
-                past.setdefault(o.var, set()).add(o.value)
-                if o.lost:
-                    # indeterminate: old winner and attempted value both
-                    # acceptable until the next successful write
-                    have = cur.get(o.var)
-                    taint.setdefault(o.var, set()).update(
-                        {have[1] if have else -1, o.value}
-                    )
-                    rep.lost_exempt += 1
-                    continue
-                taint.pop(o.var, None)
-                have = cur.get(o.var)
-                if (
-                    have is None
-                    or o.round > have[0]
-                    # same-round arbitration: larger value wins, the
-                    # protocol's (stamp << 32) | value packing order
-                    or (o.round == have[0] and o.value > have[1])
-                ):
-                    cur[o.var] = (o.round, o.value)
-                continue
-            # -- read ----------------------------------------------------
-            if o.lost:
-                rep.lost_exempt += 1
-                continue
-            rep.reads_checked += 1
-            have = cur.get(o.var)
-            expected = have[1] if have is not None else -1
-            if o.value == expected:
-                continue
-            accept = taint.get(o.var)
-            if accept is not None and o.value in accept:
-                rep.tainted_accepted += 1
-                continue
-            if expected == -1:
-                kind = "phantom-read"
-            elif o.value == -1:
-                kind = "dropped-read"
-            elif o.value in past.get(o.var, ()):
-                kind = "stale-read"
-            else:
-                kind = "phantom-read"
-            self._add(
-                rep,
-                Violation(
-                    kind=kind, var=str(o.var), round=o.round, proc=o.proc,
-                    expected=expected, observed=o.value,
-                ),
-            )
-        return rep
+            core.feed(o)
+        return core.report
 
     # -- kv trace ----------------------------------------------------------
 
     def check_kv_ops(self, ops: list[KvOp]) -> ViolationReport:
         """Check a kvstore trace against plain dict semantics."""
-        rep = ViolationReport()
-        model: dict[str, int] = {}
+        core = KvOpCore(max_violations=self.max_violations)
         for o in sorted(ops, key=lambda o: (o.round, o.seq)):
-            rep.kv_checked += 1
-            if o.op == "put":
-                model[o.key] = o.value
-            elif o.op == "delete":
-                model.pop(o.key, None)
-            else:
-                expected = model.get(o.key, -1)
-                if o.value != expected:
-                    kind = "kv-stale-get" if expected != -1 else "kv-phantom-get"
-                    self._add(
-                        rep,
-                        Violation(
-                            kind=kind, var=o.key, round=o.round, proc=-1,
-                            expected=expected, observed=o.value,
-                        ),
-                    )
-        return rep
+            core.feed(o)
+        return core.report
 
     # -- whole trace -------------------------------------------------------
 
@@ -269,9 +387,3 @@ class ConsistencyChecker:
         against serial memory, ``kv.op`` events against a dict)."""
         rep = self.check_mem_ops(mem_ops_from_events(events))
         return rep.merge(self.check_kv_ops(kv_ops_from_events(events)))
-
-    def _add(self, rep: ViolationReport, v: Violation) -> None:
-        if len(rep.violations) < self.max_violations:
-            rep.violations.append(v)
-        else:
-            rep.truncated += 1

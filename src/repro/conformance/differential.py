@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.conformance.checker import ConsistencyChecker, ViolationReport
 from repro.conformance.recorder import record
-from repro.faults.models import FaultContext, StaleCopies, disjoint_victims
+from repro.faults.attacks import build_stale_majority, payload_values
 from repro.schemes import (
     GridScheme,
     MehlhornVishkinScheme,
@@ -62,9 +62,6 @@ __all__ = [
 
 REPORT_BASENAME = "conformance_fuzz"
 
-#: fuzz values stay well under the protocol's 32-bit value packing limit
-_VAL_MOD = 1 << 20
-
 
 def conformance_schemes() -> list[MemoryScheme]:
     """The six implementations under differential test: the four
@@ -84,7 +81,7 @@ def _value_for(t: int, idx: np.ndarray) -> np.ndarray:
     """Deterministic write payloads: a function of (round, variable), so
     every scheme sees byte-identical values and any stale read is
     attributable to a specific earlier round."""
-    return (idx * 2654435761 + t * 97) % _VAL_MOD
+    return payload_values(t, idx)
 
 
 @dataclass
@@ -292,57 +289,23 @@ def stale_majority_canary(seed: int = 0, n_victims: int = 3) -> CanaryResult:
     campaign pins just past the q/2 threshold.  The returned
     :class:`CanaryResult` says whether the checker flagged exactly those
     reads.
+
+    The adversary itself lives in :mod:`repro.faults.attacks`; this
+    wrapper records its trace and runs the *batch* checker over it (the
+    online watchdog equivalent is
+    :func:`repro.conformance.streaming.run_watchdog_canary`).
     """
-    sch = PPAdapter(2, 3)
-    count = min(sch.N, sch.M, 48)
-    idx = sch.random_request_set(count, seed=seed)
-    modules = sch.placement(idx)
-    slots = sch.slots(idx, modules)
-    ctx = FaultContext(sch.N, modules, sch.read_quorum, slots=slots)
-    victims = disjoint_victims(modules, n_victims)
-    k = ctx.tolerance + 1  # q/2 + 1 stale copies: past the break-even
-    old_vals = _value_for(1, idx)
-    vals = _value_for(2, idx)
-    store = sch.make_store()
-    retry = 64 * (count + ctx.copies)
+    attack = build_stale_majority(seed=seed, n_victims=n_victims)
     with record() as rec:
-        sch.write(idx, values=old_vals, store=store, time=1)
-        sch.write(idx, values=vals, store=store, time=2)
-        # the quorum writes above are the recorded history; replaying them
-        # onto every copy cell (same values, same stamps) makes the
-        # rollback below deterministic without changing the semantics
-        store.write(
-            modules, slots, np.broadcast_to(old_vals[:, None], modules.shape), 1
-        )
-        store.write(
-            modules, slots, np.broadcast_to(vals[:, None], modules.shape), 2
-        )
-        plan = StaleCopies(copies_per_victim=k, victims=victims).plan(
-            ctx, 1.0, seed=seed
-        )
-        StaleCopies.apply(plan, store, ctx, old_vals, 1)
-        stale_cols = plan.stale[1].reshape(victims.size, -1)
-        fresh_mods = []
-        for i, v in enumerate(victims):
-            cols = np.setdiff1d(np.arange(ctx.copies), stale_cols[i])
-            fresh_mods.append(modules[int(v), cols])
-        failed = np.unique(np.concatenate(fresh_mods)).astype(np.int64)
-        res = sch.read(
-            idx, store=store, time=3,
-            failed_modules=failed, allow_partial=True, retry_limit=retry,
-        )
-    lost = np.zeros(count, dtype=bool)
-    if res.unsatisfiable is not None:
-        lost[res.unsatisfiable] = True
-    silent_wrong = (~lost) & (res.values != vals)
-    expected = [
-        (int(p), 3, int(idx[int(p)])) for p in np.flatnonzero(silent_wrong)
-    ]
+        attack.seed_history()
+        attack.go_stale()  # q/2 + 1 stale copies, fresh remnant cut
+        res = attack.read(time=3)
+    expected, silent_wrong = attack.victim_verdict(res, time=3)
     report = ConsistencyChecker().check_mem_ops(rec.mem_ops())
     return CanaryResult(
         report=report,
         expected=expected,
-        silent_wrong_reads=int(np.count_nonzero(silent_wrong)),
+        silent_wrong_reads=silent_wrong,
     )
 
 

@@ -326,6 +326,12 @@ def run_access_protocol(
         _emit_mem_ops(
             op, var_ids, V, phase_count, out_values, values, out_lost, time
         )
+        b = _obs.bus()
+        if b is not None:
+            _publish_health(
+                b, op, time, V, copies, majority, n_modules, mpc.stats,
+                phases, dead_copy, unsatisfiable, fault_report,
+            )
     if obs_on and _obs.metrics_enabled():
         m = _obs.metrics()
         m.counter("protocol.accesses", op=op).inc()
@@ -370,7 +376,7 @@ def _emit_mem_ops(
     phase that served it) and ``lost`` (quorum lost, value invalid).
     """
     tr = _obs.tracer()
-    if not tr.enabled:
+    if not tr.enabled and _obs.bus() is None:
         return
     ids = (
         np.arange(V, dtype=np.int64)
@@ -381,7 +387,7 @@ def _emit_mem_ops(
         raise ValueError(f"var_ids must have shape ({V},)")
     vals = out_values if op == "read" else values
     for i in range(V):
-        tr.event(
+        _obs.publish(
             "mem.op",
             op=op,
             var=int(ids[i]),
@@ -391,6 +397,67 @@ def _emit_mem_ops(
             phase=i % phase_count,
             lost=bool(out_lost[i]) if out_lost is not None else False,
         )
+
+
+def _publish_health(
+    b,
+    op: str,
+    time: int,
+    V: int,
+    copies: int,
+    majority: int,
+    n_modules: int,
+    stats,
+    phases: list[PhaseTrace],
+    dead_copy: np.ndarray | None,
+    unsatisfiable: np.ndarray | None,
+    fault_report,
+) -> None:
+    """One bus-only ``protocol.health`` event per read/write batch.
+
+    Bus-only on purpose: recorded traces keep their existing schema
+    byte-for-byte, while live consumers (:class:`repro.obs.stream.
+    HealthAggregator`) get the per-batch gauges.  ``load_skew`` is
+    ``100 x max_congestion / (served / (modules x steps))`` -- 100
+    means perfectly balanced, larger means hotter hot spots.
+    ``quorum_margin`` is the worst variable's live copies beyond the
+    majority (0 = one more failure loses data).
+    """
+    if not _obs.enabled():
+        return
+    total_iters = sum(p.iterations for p in phases)
+    served = int(stats.served)
+    skew = (
+        int(round(100 * stats.max_congestion * n_modules * stats.steps
+                  / served))
+        if served
+        else 0
+    )
+    if dead_copy is not None:
+        margin = int((copies - dead_copy.sum(axis=1)).min()) - majority
+    else:
+        margin = copies - majority
+    degraded = 0
+    if fault_report is not None:
+        degraded = int(np.count_nonzero(fault_report.outcomes == DEGRADED))
+    b.publish(
+        "protocol.health",
+        {
+            "op": op,
+            "round": int(time),
+            "requests": V,
+            "copies": copies,
+            "majority": majority,
+            "modules": n_modules,
+            "iterations": total_iters,
+            "served": served,
+            "max_congestion": int(stats.max_congestion),
+            "load_skew": skew,
+            "lost": int(unsatisfiable.size) if unsatisfiable is not None else 0,
+            "degraded": degraded,
+            "quorum_margin": margin,
+        },
+    )
 
 
 def _build_fault_report(

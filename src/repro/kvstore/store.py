@@ -225,12 +225,14 @@ class ParallelKVStore:
         store-level record the conformance checker diffs against plain
         dict semantics (:mod:`repro.conformance`).  ``round`` is the
         store's logical clock after the batch, so successive batches are
-        totally ordered.  Callers must check ``_obs.enabled()`` first."""
+        totally ordered.  Events go to the tracer and, when one is
+        installed, the live event bus.  Callers must check
+        ``_obs.enabled()`` first."""
         tr = _obs.tracer()
-        if not tr.enabled:
+        if not tr.enabled and _obs.bus() is None:
             return
         for k, v in zip(keys, np.ravel(values)):
-            tr.event(
+            _obs.publish(
                 "kv.op", op=op, key=str(k), value=int(v), round=self._time
             )
 

@@ -461,7 +461,9 @@ class FloatArithmeticRule(Rule):
 # D4 -- unguarded observability emission
 
 
-_EMITTING_ATTRS = frozenset({"event", "counter", "gauge", "histogram", "timer"})
+_EMITTING_ATTRS = frozenset(
+    {"event", "counter", "gauge", "histogram", "timer", "publish"}
+)
 
 
 @register
@@ -488,11 +490,12 @@ class UnguardedObservabilityRule(Rule):
         guard_names = self._guard_names(ctx.tree, obs_aliases)
         tracer_names = self._assigned_from(ctx.tree, obs_aliases, "tracer")
         metrics_names = self._assigned_from(ctx.tree, obs_aliases, "metrics")
+        bus_names = self._assigned_from(ctx.tree, obs_aliases, "bus")
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             target = self._emission_target(
-                node, obs_aliases, tracer_names, metrics_names
+                node, obs_aliases, tracer_names, metrics_names, bus_names
             )
             if target is None:
                 continue
@@ -508,7 +511,7 @@ class UnguardedObservabilityRule(Rule):
     def _assigned_from(
         tree: ast.Module, obs_aliases: set[str], attr: str
     ) -> set[str]:
-        """Names bound from ``<obs>.tracer()`` / ``<obs>.metrics()``."""
+        """Names bound from ``<obs>.tracer()`` / ``.metrics()`` / ``.bus()``."""
         out: set[str] = set()
         for node in ast.walk(tree):
             if (
@@ -544,6 +547,7 @@ class UnguardedObservabilityRule(Rule):
         obs_aliases: set[str],
         tracer_names: set[str],
         metrics_names: set[str],
+        bus_names: set[str],
     ) -> str | None:
         func = node.func
         if _is_attr_of(func, obs_aliases):
@@ -551,6 +555,8 @@ class UnguardedObservabilityRule(Rule):
                 return "obs.on_mpc_step"
             if func.attr == "metrics":
                 return "obs.metrics()"
+            if func.attr == "publish":
+                return "obs.publish"
             return None
         if isinstance(func, ast.Attribute) and func.attr in _EMITTING_ATTRS:
             base = func.value
@@ -558,12 +564,12 @@ class UnguardedObservabilityRule(Rule):
             if (
                 isinstance(base, ast.Call)
                 and _is_attr_of(base.func, obs_aliases)
-                and base.func.attr in ("tracer", "metrics")
+                and base.func.attr in ("tracer", "metrics", "bus")
             ):
                 return f"obs.{base.func.attr}().{func.attr}"
-            # tr.event(...) on a name bound from obs.tracer()/metrics()
+            # tr.event(...) on a name bound from obs.tracer()/metrics()/bus()
             if isinstance(base, ast.Name) and base.id in (
-                tracer_names | metrics_names
+                tracer_names | metrics_names | bus_names
             ):
                 return f"{base.id}.{func.attr}"
         return None

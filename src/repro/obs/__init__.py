@@ -16,8 +16,14 @@ in practice well under 1%.
 - :func:`set_tracer` -- install a
   :class:`~repro.obs.trace.RecordingTracer` (or ``None`` to restore the
   zero-overhead :class:`~repro.obs.trace.NullTracer`).
-- :func:`enabled` -- True iff metrics or tracing is active; the guard
-  every instrumentation site checks first.
+- :func:`set_bus` -- install a :class:`~repro.obs.stream.EventBus` (or
+  ``None`` to remove it) for live streaming consumers; see
+  :mod:`repro.obs.stream` for the bounded-queue backpressure contract.
+- :func:`publish` -- forward one named event to the tracer (if
+  recording) and the bus (if installed); callers must check
+  :func:`enabled` first, like every other emission site.
+- :func:`enabled` -- True iff metrics, tracing, or a bus is active; the
+  guard every instrumentation site checks first.
 - :func:`collect` -- context manager that enables both for a block and
   restores the previous state.
 
@@ -43,6 +49,20 @@ in practice well under 1%.
 | ``faults.scenarios{model=...}`` | counter | campaign scenario runs, labeled by fault model |
 | ``faults.lost`` | counter | quorum losses observed across campaign scenarios |
 | ``faults.violations`` | counter | semantic violations below the q/2 threshold (should stay 0) |
+| ``watch.batches`` / ``watch.requests`` | counter | protocol batches / requests seen by the live watchdog |
+| ``watch.lost`` / ``watch.degraded`` | counter | lost / degraded variables reported in health events |
+| ``watch.round`` | gauge | latest logical round observed by the watchdog |
+| ``watch.quorum_margin`` | gauge | live copies beyond the majority for the worst variable class |
+| ``watch.load_skew`` | histogram | per-batch max-congestion skew vs a balanced load (x100) |
+| ``watch.iterations`` | histogram | per-batch protocol iteration totals |
+| ``watch.checker_lag`` | gauge | rounds buffered but not yet retired by the streaming checker |
+| ``watch.state_size`` | gauge | high-watermark of the streaming checker's retained state |
+| ``watch.events_dropped`` | gauge | bus events dropped at the watchdog's bounded queue |
+| ``watch.violations`` | counter | consistency violations flagged online |
+
+Histogram and timer snapshots also carry ``p50``/``p95``/``p99``
+(nearest-rank over a bounded deterministic sketch; ``*_seconds`` for
+timers).
 
 ### Trace event schema
 
@@ -66,6 +86,15 @@ JSONL, one object per line; every record has ``type`` ("span"/"event"),
 | ``faults.scenario`` | span | ``q, model, intensity`` |
 | ``mem.op`` | event | ``op, var, value, round, proc, phase, lost`` (one per request; consumed by :mod:`repro.conformance`) |
 | ``kv.op`` | event | ``op, key, value, round`` (one per key of a kvstore batch) |
+
+``mem.op`` / ``kv.op`` also go to the installed event bus (same
+fields, bus-assigned ``seq``).  Two events are **bus-only** -- they feed
+the live watchdog without perturbing recorded traces:
+
+| name | fields |
+|---|---|
+| ``protocol.health`` | ``op, round, requests, copies, majority, modules, iterations, served, max_congestion, load_skew, lost, degraded, quorum_margin`` (one per read/write batch) |
+| ``scheme.topology`` | ``q, n, N, M, copies, majority`` (one per scheme build) |
 
 ### Overhead guarantees
 
@@ -103,6 +132,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Timer,
 )
+from repro.obs.stream import EventBus, Subscription
 from repro.obs.trace import (
     NULL_SPAN,
     NullTracer,
@@ -119,6 +149,8 @@ __all__ = [
     "MetricsRegistry",
     "NullTracer",
     "RecordingTracer",
+    "EventBus",
+    "Subscription",
     "traced",
     "read_jsonl",
     "metrics",
@@ -127,6 +159,9 @@ __all__ = [
     "disable_metrics",
     "tracer",
     "set_tracer",
+    "bus",
+    "set_bus",
+    "publish",
     "enabled",
     "collect",
     "span",
@@ -141,7 +176,8 @@ _NULL_TRACER = NullTracer()
 _REGISTRY = MetricsRegistry()
 _metrics_on = False
 _tracer = _NULL_TRACER
-_active = False  # _metrics_on or tracing; the one flag hot guards read
+_bus: EventBus | None = None
+_active = False  # metrics, tracing, or bus; the one flag hot guards read
 
 
 def metrics() -> MetricsRegistry:
@@ -166,7 +202,7 @@ def disable_metrics() -> None:
     """Turn metrics collection off (the registry keeps its contents)."""
     global _metrics_on, _active
     _metrics_on = False
-    _active = _tracer.enabled
+    _active = _tracer.enabled or _bus is not None
 
 
 def tracer() -> NullTracer | RecordingTracer:
@@ -180,8 +216,33 @@ def set_tracer(t: RecordingTracer | None) -> NullTracer | RecordingTracer:
     global _tracer, _active
     prev = _tracer
     _tracer = _NULL_TRACER if t is None else t
-    _active = _metrics_on or _tracer.enabled
+    _active = _metrics_on or _tracer.enabled or _bus is not None
     return prev
+
+
+def bus() -> EventBus | None:
+    """The installed event bus, or None (the zero-cost default)."""
+    return _bus
+
+
+def set_bus(b: EventBus | None) -> EventBus | None:
+    """Install an event bus (``None`` removes it); returns the previous
+    one so callers can restore it."""
+    global _bus, _active
+    prev = _bus
+    _bus = b
+    _active = _metrics_on or _tracer.enabled or _bus is not None
+    return prev
+
+
+def publish(name: str, **fields: object) -> None:
+    """Emit one named event to the tracer (if recording) and the bus
+    (if installed).  Callers must check :func:`enabled` first -- this is
+    the streaming sibling of :func:`on_mpc_step`."""
+    if _tracer.enabled:
+        _tracer.event(name, **fields)
+    if _bus is not None:
+        _bus.publish(name, fields)
 
 
 def enabled() -> bool:

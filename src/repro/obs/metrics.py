@@ -31,11 +31,80 @@ __all__ = [
     "Timer",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "QUANTILES",
 ]
 
 #: Default fixed histogram buckets: geometric-ish upper bounds suited to
 #: iteration/congestion counts (values above the last bound land in +Inf).
 DEFAULT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 1000)
+
+#: Quantiles every histogram/timer snapshot summarizes (p50/p95/p99).
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+class _QuantileSketch:
+    """Bounded-memory quantile estimator with deterministic thinning.
+
+    Keeps every ``stride``-th observation; when the retained sample set
+    reaches ``cap`` it drops every other sample and doubles the stride.
+    No randomness is involved (rule D2: reservoir sampling would need an
+    RNG), so identical observation sequences produce identical sketches.
+    Estimates are nearest-rank quantiles over the retained samples --
+    exact below ``cap`` observations, a stride-uniform subsample above.
+    """
+
+    __slots__ = ("cap", "stride", "n", "samples", "_phase")
+
+    def __init__(self, cap: int = 512):
+        if cap < 2:
+            raise ValueError("sketch cap must be >= 2")
+        self.cap = cap
+        self.reset()
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the sketch."""
+        self.n += 1
+        if self._phase == 0:
+            self.samples.append(value)
+            if len(self.samples) >= self.cap:
+                self._thin()
+        self._phase = (self._phase + 1) % self.stride
+
+    def _thin(self) -> None:
+        self.samples = self.samples[::2]
+        self.stride *= 2
+
+    def quantile(self, p: float) -> float | None:
+        """Nearest-rank quantile of the retained samples (None if empty)."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("quantile p must be in [0, 1]")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, int(p * len(ordered)))
+        return ordered[rank]
+
+    def summary(self, suffix: str = "") -> dict:
+        """The standard p50/p95/p99 snapshot keys."""
+        return {
+            f"p{int(q * 100)}{suffix}": self.quantile(q) for q in QUANTILES
+        }
+
+    def merge(self, other: "_QuantileSketch") -> None:
+        """Pool another sketch's samples, re-thinning back under cap."""
+        self.n += other.n
+        self.samples.extend(other.samples)
+        self.stride = max(self.stride, other.stride)
+        while len(self.samples) >= self.cap:
+            self._thin()
+        self._phase = 0
+
+    def reset(self) -> None:
+        """Forget every observation."""
+        self.n = 0
+        self.stride = 1
+        self._phase = 0
+        self.samples: list = []
 
 
 class Counter:
@@ -101,16 +170,21 @@ class Histogram:
     """Fixed-bucket histogram with count/sum/min/max side statistics.
 
     ``buckets`` are inclusive upper bounds; an observation larger than
-    every bound is counted in the implicit ``+Inf`` bucket.
+    every bound is counted in the implicit ``+Inf`` bucket.  A bounded
+    deterministic :class:`_QuantileSketch` rides along, so snapshots
+    carry p50/p95/p99 alongside the bucket counts.
     """
 
     kind = "histogram"
-    __slots__ = ("buckets", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = (
+        "buckets", "bucket_counts", "count", "total", "min", "max", "sketch",
+    )
 
     def __init__(self, buckets: tuple = DEFAULT_BUCKETS):
         if not buckets or list(buckets) != sorted(buckets):
             raise ValueError("histogram buckets must be sorted and non-empty")
         self.buckets = tuple(buckets)
+        self.sketch = _QuantileSketch()
         self.reset()
 
     def observe(self, value) -> None:
@@ -119,16 +193,21 @@ class Histogram:
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        self.sketch.observe(value)
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self.bucket_counts[i] += 1
                 return
         self.bucket_counts[-1] += 1
 
+    def quantile(self, p: float) -> float | None:
+        """Estimated p-quantile of the observations (None if empty)."""
+        return self.sketch.quantile(p)
+
     def snapshot(self) -> dict:
         """Plain-JSON state of the instrument."""
         labels = [f"<={b}" for b in self.buckets] + ["+Inf"]
-        return {
+        snap = {
             "type": self.kind,
             "count": self.count,
             "sum": self.total,
@@ -136,6 +215,8 @@ class Histogram:
             "max": self.max,
             "buckets": dict(zip(labels, self.bucket_counts)),
         }
+        snap.update(self.sketch.summary())
+        return snap
 
     def merge(self, other: "Histogram") -> None:
         """Accumulate another histogram (bucket layouts must match)."""
@@ -149,6 +230,7 @@ class Histogram:
             if v is not None:
                 self.min = v if self.min is None else min(self.min, v)
                 self.max = v if self.max is None else max(self.max, v)
+        self.sketch.merge(other.sketch)
 
     def reset(self) -> None:
         """Clear every bucket and side statistic."""
@@ -157,19 +239,22 @@ class Histogram:
         self.total = 0
         self.min = None
         self.max = None
+        self.sketch.reset()
 
 
 class Timer:
     """Accumulated wall time of a repeated operation (seconds).
 
     Tracks count/total/max and the best-of-k ``min`` -- regression
-    checks compare best observed times, which are the least noisy.
+    checks compare best observed times, which are the least noisy --
+    plus p50/p95/p99 via a bounded deterministic sketch.
     """
 
     kind = "timer"
-    __slots__ = ("count", "total", "max", "min")
+    __slots__ = ("count", "total", "max", "min", "sketch")
 
     def __init__(self):
+        self.sketch = _QuantileSketch()
         self.reset()
 
     def observe(self, seconds: float) -> None:
@@ -180,15 +265,20 @@ class Timer:
             self.max = seconds
         if self.min is None or seconds < self.min:
             self.min = seconds
+        self.sketch.observe(seconds)
 
     def time(self) -> "_TimerContext":
         """Context manager measuring the ``with`` block's duration."""
         return _TimerContext(self)
 
+    def quantile(self, p: float) -> float | None:
+        """Estimated p-quantile of the durations (None if empty)."""
+        return self.sketch.quantile(p)
+
     def snapshot(self) -> dict:
         """Plain-JSON state of the instrument."""
         mean = self.total / self.count if self.count else 0.0
-        return {
+        snap = {
             "type": self.kind,
             "count": self.count,
             "total_seconds": self.total,
@@ -196,6 +286,8 @@ class Timer:
             "max_seconds": self.max,
             "mean_seconds": mean,
         }
+        snap.update(self.sketch.summary(suffix="_seconds"))
+        return snap
 
     def merge(self, other: "Timer") -> None:
         """Accumulate another timer into this one."""
@@ -205,6 +297,7 @@ class Timer:
         if other.min is not None:
             self.min = other.min if self.min is None else min(self.min,
                                                               other.min)
+        self.sketch.merge(other.sketch)
 
     def reset(self) -> None:
         """Zero the accumulated time (``min`` becomes None: no samples)."""
@@ -212,6 +305,7 @@ class Timer:
         self.total = 0.0
         self.max = 0.0
         self.min = None
+        self.sketch.reset()
 
 
 class _TimerContext:

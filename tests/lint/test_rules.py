@@ -215,6 +215,52 @@ class TestD4UnguardedObs:
         src = self.OBS_IMPORT + "_obs.tracer().event('x')\n"
         assert lint_source(src, ANALYSIS) == []
 
+    def test_unguarded_publish_flagged(self):
+        src = self.OBS_IMPORT + "_obs.publish('mem.op', var=1)\n"
+        assert rules_of(lint_source(src, CORE)) == ["D4"]
+
+    def test_guarded_publish_clean(self):
+        src = self.OBS_IMPORT + (
+            "if _obs.enabled():\n"
+            "    _obs.publish('mem.op', var=1)\n"
+        )
+        assert lint_source(src, CORE) == []
+
+    def test_unguarded_bus_chain_flagged(self):
+        src = self.OBS_IMPORT + "_obs.bus().publish('x', {})\n"
+        assert rules_of(lint_source(src, CORE)) == ["D4"]
+
+    def test_bound_bus_name_flagged(self):
+        src = self.OBS_IMPORT + (
+            "def emit():\n"
+            "    b = _obs.bus()\n"
+            "    b.publish('x', {})\n"
+        )
+        assert rules_of(lint_source(src, CORE)) == ["D4"]
+
+    def test_bound_bus_name_guarded_clean(self):
+        src = self.OBS_IMPORT + (
+            "def emit():\n"
+            "    if not _obs.enabled():\n"
+            "        return\n"
+            "    b = _obs.bus()\n"
+            "    if b is not None:\n"
+            "        b.publish('x', {})\n"
+        )
+        assert lint_source(src, CORE) == []
+
+    def test_dual_guard_early_return_clean(self):
+        # the mem.op/kv.op emission idiom: bail unless a tracer records
+        # or a bus listens, then publish to both through obs.publish
+        src = self.OBS_IMPORT + (
+            "def emit():\n"
+            "    tr = _obs.tracer()\n"
+            "    if not tr.enabled and _obs.bus() is None:\n"
+            "        return\n"
+            "    _obs.publish('mem.op', var=1)\n"
+        )
+        assert lint_source(src, CORE) == []
+
 
 # ---------------------------------------------------------------------------
 # D5 -- mutable shared state

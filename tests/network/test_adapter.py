@@ -1,0 +1,70 @@
+"""Tests for running the majority protocol over a measured network."""
+
+import numpy as np
+import pytest
+
+from repro.network.adapter import run_protocol_on_network
+from repro.network.topology import HypercubeTopology, TorusTopology
+
+
+def small_batch(n_modules=16, V=8, copies=3, seed=0):
+    rng = np.random.default_rng(seed)
+    # distinct modules per variable row, as the schemes guarantee
+    module_ids = np.empty((V, copies), dtype=np.int64)
+    for i in range(V):
+        module_ids[i] = rng.choice(n_modules, size=copies, replace=False)
+    return module_ids
+
+
+class TestRunProtocolOnNetwork:
+    def test_topology_must_hold_all_modules(self):
+        module_ids = small_batch(n_modules=16)
+        with pytest.raises(ValueError, match="nodes < N"):
+            run_protocol_on_network(
+                module_ids, 16, 2, HypercubeTopology(3)
+            )
+
+    def test_completes_and_charges_overhead(self):
+        module_ids = small_batch(n_modules=16, V=8, copies=3)
+        res = run_protocol_on_network(
+            module_ids, 16, 2, HypercubeTopology(4)
+        )
+        assert res.mpc_iterations >= 1
+        assert res.network_rounds == res.request_rounds + res.response_rounds
+        assert res.network_rounds >= res.mpc_iterations
+        assert res.overhead_factor >= 1.0
+        assert len(res.per_iteration_rounds) == res.mpc_iterations
+        assert sum(res.per_iteration_rounds) == res.network_rounds
+        assert res.max_link_load >= 1
+
+    def test_majority_one_single_copy(self):
+        module_ids = np.arange(8, dtype=np.int64).reshape(8, 1)
+        res = run_protocol_on_network(
+            module_ids, 8, 1, HypercubeTopology(3)
+        )
+        # distinct modules, one copy each: a single MPC iteration
+        assert res.mpc_iterations == 1
+
+    def test_torus_agrees_with_hypercube_on_iterations(self):
+        # MPC iteration count is a property of the module map, not the
+        # interconnect; only the routing cost differs
+        module_ids = small_batch(n_modules=16, V=8, copies=3, seed=2)
+        a = run_protocol_on_network(module_ids, 16, 2, HypercubeTopology(4))
+        b = run_protocol_on_network(module_ids, 16, 2, TorusTopology(4))
+        assert a.mpc_iterations == b.mpc_iterations
+
+    def test_zero_distance_batch_has_unit_overhead(self):
+        # every processor co-located with its module: routing is free
+        module_ids = np.zeros((1, 1), dtype=np.int64)
+        res = run_protocol_on_network(
+            module_ids, 1, 1, HypercubeTopology(1)
+        )
+        assert res.network_rounds == 0
+        assert res.overhead_factor >= 0.0
+        assert res.mpc_iterations == 1
+
+    def test_deterministic_given_seed(self):
+        module_ids = small_batch(n_modules=32, V=12, copies=3, seed=5)
+        a = run_protocol_on_network(module_ids, 32, 2, HypercubeTopology(5))
+        b = run_protocol_on_network(module_ids, 32, 2, HypercubeTopology(5))
+        assert a == b

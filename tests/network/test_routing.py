@@ -1,0 +1,99 @@
+"""Tests for the synchronous store-and-forward router."""
+
+import numpy as np
+import pytest
+
+from repro.network.routing import RoutingResult, route_packets
+from repro.network.topology import HypercubeTopology, TorusTopology
+
+
+class TestRoutePackets:
+    def test_zero_packets(self):
+        res = route_packets(HypercubeTopology(3), np.array([]), np.array([]))
+        assert res == RoutingResult(0, 0, 0, 0)
+
+    def test_already_arrived_costs_nothing(self):
+        h = HypercubeTopology(3)
+        res = route_packets(h, np.array([5, 2]), np.array([5, 2]))
+        assert res.rounds == 0
+        assert res.total_hops == 0
+        assert res.delivered == 2
+
+    def test_shape_mismatch_raises(self):
+        h = HypercubeTopology(3)
+        with pytest.raises(ValueError, match="equal shape"):
+            route_packets(h, np.array([1, 2]), np.array([1]))
+
+    def test_node_range_validated(self):
+        h = HypercubeTopology(2)
+        with pytest.raises(ValueError, match="out of range"):
+            route_packets(h, np.array([4]), np.array([0]))
+        with pytest.raises(ValueError, match="out of range"):
+            route_packets(h, np.array([0]), np.array([-1]))
+
+    def test_single_packet_takes_distance_rounds(self):
+        h = HypercubeTopology(4)
+        src, dst = np.array([0b0000]), np.array([0b1011])
+        res = route_packets(h, src, dst)
+        d = int(h.distance(src, dst)[0])
+        assert res.rounds == d == res.total_hops == 3
+        assert res.max_link_load == 1
+        assert res.delivered == 1
+
+    def test_disjoint_packets_route_in_parallel(self):
+        # vertex/link-disjoint greedy paths: rounds = max distance
+        h = HypercubeTopology(3)
+        src = np.array([0b000, 0b110])
+        dst = np.array([0b011, 0b101])
+        res = route_packets(h, src, dst)
+        assert res.rounds == 2
+        assert res.total_hops == 4
+        assert res.max_link_load == 1
+
+    def test_link_contention_serializes_lowest_id_first(self):
+        # two packets at the same node, same first hop: one waits
+        h = HypercubeTopology(3)
+        src = np.array([0b000, 0b000])
+        dst = np.array([0b001, 0b011])
+        res = route_packets(h, src, dst)
+        # both need link 000->001 in round 1; packet 0 wins, packet 1
+        # crosses it in round 2 and then hops once more
+        assert res.rounds == 3
+        assert res.total_hops == 3
+        assert res.max_link_load == 2
+        assert res.delivered == 2
+
+    def test_custom_next_fn_is_used(self):
+        h = HypercubeTopology(4)
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, h.n_nodes, size=16)
+        dst = rng.integers(0, h.n_nodes, size=16)
+
+        def random_next(cur, dest):
+            return h.vnext_random(cur, dest, rng)
+
+        res = route_packets(h, src, dst, next_fn=random_next)
+        assert res.delivered == 16
+        # productive policy: total hops equal sum of distances
+        assert res.total_hops == int(h.distance(src, dst).sum())
+
+    def test_permutation_on_torus_delivers_everything(self):
+        t = TorusTopology(4)
+        rng = np.random.default_rng(9)
+        perm = rng.permutation(t.n_nodes)
+        src = np.arange(t.n_nodes)
+        res = route_packets(t, src, perm)
+        assert res.delivered == t.n_nodes
+        assert res.total_hops == int(t.distance(src, perm).sum())
+        assert res.rounds >= int(t.distance(src, perm).max())
+        assert res.max_link_load >= 1
+
+    def test_hops_equal_sum_of_distances_under_greedy(self):
+        h = HypercubeTopology(5)
+        rng = np.random.default_rng(4)
+        src = rng.integers(0, h.n_nodes, size=100)
+        dst = rng.integers(0, h.n_nodes, size=100)
+        res = route_packets(h, src, dst)
+        # greedy bit-fixing never detours: every hop fixes one bit
+        assert res.total_hops == int(h.distance(src, dst).sum())
+        assert res.rounds >= int(h.distance(src, dst).max())

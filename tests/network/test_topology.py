@@ -1,0 +1,146 @@
+"""Tests for the bounded-degree topologies and their greedy routes."""
+
+import numpy as np
+import pytest
+
+from repro.network.topology import HypercubeTopology, TorusTopology
+
+
+class TestHypercube:
+    def test_structure(self):
+        h = HypercubeTopology(4)
+        assert h.n_nodes == 16
+        assert h.degree == 4
+        assert h.diameter() == 4
+        assert "dimension=4" in repr(h)
+
+    def test_dimension_validated(self):
+        with pytest.raises(ValueError, match="dimension"):
+            HypercubeTopology(0)
+        with pytest.raises(ValueError, match="dimension"):
+            HypercubeTopology(25)
+
+    def test_at_least(self):
+        assert HypercubeTopology.at_least(1).n_nodes == 2
+        assert HypercubeTopology.at_least(16).n_nodes == 16
+        assert HypercubeTopology.at_least(17).n_nodes == 32
+        with pytest.raises(ValueError, match="positive"):
+            HypercubeTopology.at_least(0)
+
+    def test_neighbors_are_single_bit_flips(self):
+        h = HypercubeTopology(3)
+        ns = h.neighbors(5)
+        assert sorted(ns) == sorted([5 ^ 1, 5 ^ 2, 5 ^ 4])
+        with pytest.raises(ValueError, match="out of range"):
+            h.neighbors(8)
+
+    def test_vnext_fixes_lowest_differing_bit(self):
+        h = HypercubeTopology(4)
+        cur = np.array([0b0000, 0b1010, 0b0110])
+        dest = np.array([0b0101, 0b1010, 0b0111])
+        nxt = h.vnext(cur, dest)
+        assert nxt[0] == 0b0001  # lowest differing bit first
+        assert nxt[1] == 0b1010  # arrived: unchanged
+        assert nxt[2] == 0b0111
+
+    def test_greedy_route_reaches_dest_in_distance_hops(self):
+        h = HypercubeTopology(5)
+        rng = np.random.default_rng(0)
+        cur = rng.integers(0, h.n_nodes, size=64)
+        dest = rng.integers(0, h.n_nodes, size=64)
+        d = h.distance(cur, dest)
+        pos = cur.copy()
+        for _ in range(h.diameter()):
+            pos = h.vnext(pos, dest)
+        assert np.all(pos == dest)
+        # each hop fixes exactly one bit, so hops used == distance
+        assert np.all(d <= h.diameter())
+
+    def test_distance_is_hamming(self):
+        h = HypercubeTopology(4)
+        assert h.distance(np.array([0]), np.array([0b1111]))[0] == 4
+        assert h.distance(np.array([0b1010]), np.array([0b1010]))[0] == 0
+
+    def test_vnext_random_is_productive(self):
+        h = HypercubeTopology(4)
+        rng = np.random.default_rng(7)
+        cur = np.array([0b0000, 0b1111, 0b0101])
+        dest = np.array([0b1111, 0b1111, 0b1010])
+        for _ in range(h.diameter()):
+            nxt = h.vnext_random(cur, dest, rng)
+            moved = cur != dest
+            # every unfinished packet strictly reduces Hamming distance
+            assert np.all(
+                h.distance(nxt[moved], dest[moved])
+                == h.distance(cur[moved], dest[moved]) - 1
+            )
+            assert np.all(nxt[~moved] == cur[~moved])
+            cur = nxt
+        assert np.all(cur == dest)
+
+    def test_vnext_random_all_arrived_short_circuits(self):
+        h = HypercubeTopology(3)
+        rng = np.random.default_rng(0)
+        cur = np.array([1, 2, 3])
+        assert np.all(h.vnext_random(cur, cur, rng) == cur)
+
+
+class TestTorus:
+    def test_structure(self):
+        t = TorusTopology(5)
+        assert t.n_nodes == 25
+        assert t.degree == 4
+        assert t.diameter() == 4
+        assert "k=5" in repr(t)
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            TorusTopology(1)
+
+    def test_at_least(self):
+        assert TorusTopology.at_least(1).k == 2
+        assert TorusTopology.at_least(25).k == 5
+        assert TorusTopology.at_least(26).k == 6
+
+    def test_neighbors_wrap(self):
+        t = TorusTopology(3)
+        # node 0 = (0, 0): wraps to (1,0), (2,0), (0,1), (0,2)
+        assert sorted(t.neighbors(0)) == sorted([1, 2, 3, 6])
+
+    def test_distance_wraparound_manhattan(self):
+        t = TorusTopology(5)
+        # (0,0) to (4,4): wrapping is 1+1, not 4+4
+        a = np.array([0])
+        b = np.array([4 + 4 * 5])
+        assert t.distance(a, b)[0] == 2
+        assert t.distance(a, a)[0] == 0
+
+    def test_vnext_dimension_ordered(self):
+        t = TorusTopology(5)
+        # x corrected before y; shorter wrap direction chosen
+        cur = np.array([0])          # (0, 0)
+        dest = np.array([4 + 2 * 5])  # (4, 2)
+        nxt = t.vnext(cur, dest)
+        assert nxt[0] == 4  # x steps backwards across the wrap to x=4
+
+    def test_greedy_route_reaches_dest_within_diameter(self):
+        t = TorusTopology(6)
+        rng = np.random.default_rng(1)
+        cur = rng.integers(0, t.n_nodes, size=64)
+        dest = rng.integers(0, t.n_nodes, size=64)
+        pos = cur.copy()
+        for _ in range(t.diameter()):
+            pos = t.vnext(pos, dest)
+        assert np.all(pos == dest)
+
+    def test_each_hop_is_a_neighbor_step(self):
+        t = TorusTopology(4)
+        rng = np.random.default_rng(2)
+        cur = rng.integers(0, t.n_nodes, size=32)
+        dest = rng.integers(0, t.n_nodes, size=32)
+        while np.any(cur != dest):
+            nxt = t.vnext(cur, dest)
+            moved = cur != dest
+            for c, nx in zip(cur[moved].tolist(), nxt[moved].tolist()):
+                assert nx in t.neighbors(c)
+            cur = nxt

@@ -10,8 +10,10 @@ from repro import obs
 def clean_obs_state():
     obs.disable_metrics()
     obs.set_tracer(None)
+    obs.set_bus(None)
     obs.metrics().reset()
     yield
     obs.disable_metrics()
     obs.set_tracer(None)
+    obs.set_bus(None)
     obs.metrics().reset()

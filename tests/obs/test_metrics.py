@@ -201,3 +201,114 @@ class TestRegistry:
         parsed = json.loads(r.to_json())
         assert parsed["c"]["value"] == 3
         assert parsed["g"]["value"] == 7
+
+
+class TestQuantileSketch:
+    def test_exact_below_cap(self):
+        from repro.obs.metrics import _QuantileSketch
+
+        s = _QuantileSketch(cap=512)
+        for v in range(100):
+            s.observe(v)
+        assert s.quantile(0.0) == 0
+        assert s.quantile(0.5) == 50
+        assert s.quantile(0.99) == 99
+        assert s.quantile(1.0) == 99
+
+    def test_empty_returns_none(self):
+        from repro.obs.metrics import _QuantileSketch
+
+        assert _QuantileSketch().quantile(0.5) is None
+
+    def test_p_validated(self):
+        from repro.obs.metrics import _QuantileSketch
+
+        with pytest.raises(ValueError, match="quantile"):
+            _QuantileSketch().quantile(1.5)
+
+    def test_cap_validated(self):
+        from repro.obs.metrics import _QuantileSketch
+
+        with pytest.raises(ValueError, match="cap"):
+            _QuantileSketch(cap=1)
+
+    def test_thinning_bounds_memory_and_stays_deterministic(self):
+        from repro.obs.metrics import _QuantileSketch
+
+        a = _QuantileSketch(cap=64)
+        b = _QuantileSketch(cap=64)
+        for v in range(10_000):
+            a.observe(v)
+            b.observe(v)
+        assert len(a.samples) < 64
+        assert a.samples == b.samples  # no RNG anywhere (rule D2)
+        assert a.n == 10_000
+        # stride-uniform subsample keeps quantiles near truth
+        assert abs(a.quantile(0.5) - 5_000) < 600
+
+    def test_merge_pools_and_rethins(self):
+        from repro.obs.metrics import _QuantileSketch
+
+        a, b = _QuantileSketch(cap=16), _QuantileSketch(cap=16)
+        for v in range(10):
+            a.observe(v)
+        for v in range(100, 140):
+            b.observe(v)
+        a.merge(b)
+        assert a.n == 50
+        assert len(a.samples) < 16
+        assert a.quantile(0.99) >= 100
+
+
+class TestQuantileSummaries:
+    def test_histogram_snapshot_has_quantile_keys(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["p50"] == h.quantile(0.5)
+        assert snap["p50"] <= snap["p95"] <= snap["p99"] <= snap["max"]
+
+    def test_timer_snapshot_has_seconds_quantile_keys(self):
+        t = Timer()
+        for ms in range(1, 51):
+            t.observe(ms / 1000.0)
+        snap = t.snapshot()
+        assert {"p50_seconds", "p95_seconds", "p99_seconds"} <= set(snap)
+        assert (
+            snap["p50_seconds"] <= snap["p99_seconds"] <= snap["max_seconds"]
+        )
+
+    def test_histogram_merge_pools_quantiles(self):
+        a, b = Histogram(), Histogram()
+        for v in range(10):
+            a.observe(v)
+        for v in range(1000, 1010):
+            b.observe(v)
+        a.merge(b)
+        assert a.quantile(0.99) >= 1000
+        assert a.snapshot()["count"] == 20
+
+    def test_histogram_reset_clears_quantiles(self):
+        h = Histogram()
+        h.observe(5)
+        h.reset()
+        assert h.quantile(0.5) is None
+        assert h.snapshot()["p50"] is None
+
+    def test_timer_merge_and_reset(self):
+        a, b = Timer(), Timer()
+        a.observe(0.001)
+        b.observe(0.5)
+        a.merge(b)
+        assert a.quantile(0.99) == 0.5
+        a.reset()
+        assert a.quantile(0.5) is None
+
+    def test_registry_roundtrip_serializes_quantiles(self):
+        r = MetricsRegistry()
+        h = r.histogram("h")
+        for v in range(20):
+            h.observe(v)
+        parsed = json.loads(r.to_json())
+        assert parsed["h"]["p95"] == h.quantile(0.95)

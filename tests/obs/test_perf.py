@@ -236,6 +236,16 @@ class TestReport:
 
 
 class TestPerfCli:
+    def test_check_empty_dir_says_no_baseline_and_passes(
+        self, tmp_path, capsys
+    ):
+        # fresh clone: no BENCH_*.json at all -- explicit message, exit 0
+        assert main(["perf", "check", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "no baseline yet" in out
+        assert "BENCH_*.json" in out
+        assert "perf record" in out
+
     def test_check_no_baseline_ok(self, tmp_path):
         make_record(tmp_path, "20260805T120000Z", {"a": [1.0]})
         assert main(["perf", "check", "--dir", str(tmp_path)]) == 0

@@ -1,0 +1,227 @@
+"""Tests for the bounded event bus and the health aggregator."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stream import DEFAULT_CAPACITY, EventBus, HealthAggregator, Subscription
+
+
+class TestSubscription:
+    def test_matches_all_when_names_none(self):
+        sub = Subscription()
+        assert sub.matches("anything")
+        assert sub.names is None
+
+    def test_matches_named_only(self):
+        sub = Subscription(names={"mem.op"})
+        assert sub.matches("mem.op")
+        assert not sub.matches("kv.op")
+
+    def test_push_drain_fifo(self):
+        sub = Subscription()
+        sub.push({"a": 1})
+        sub.push({"a": 2})
+        assert len(sub) == 2
+        assert [e["a"] for e in sub.drain()] == [1, 2]
+        assert len(sub) == 0
+
+    def test_drain_limit(self):
+        sub = Subscription()
+        for i in range(5):
+            sub.push({"i": i})
+        assert [e["i"] for e in sub.drain(limit=2)] == [0, 1]
+        assert len(sub) == 3
+
+    def test_full_queue_drops_and_counts(self):
+        sub = Subscription(capacity=2)
+        assert sub.push({}) and sub.push({})
+        assert not sub.push({})
+        assert sub.dropped == 1
+        assert sub.delivered == 2
+        assert len(sub) == 2  # queue never exceeds capacity
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Subscription(capacity=0)
+
+    def test_repr_mentions_drops(self):
+        sub = Subscription(names={"x"}, capacity=1)
+        sub.push({})
+        sub.push({})
+        assert "dropped=1" in repr(sub)
+
+
+class TestEventBus:
+    def test_publish_stamps_name_and_monotonic_seq(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        bus.publish("a", {"v": 1})
+        bus.publish("b", {"v": 2})
+        events = sub.drain()
+        assert [e["name"] for e in events] == ["a", "b"]
+        assert [e["seq"] for e in events] == [1, 2]
+
+    def test_publish_does_not_mutate_caller_fields(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        fields = {"v": 1}
+        bus.publish("a", fields)
+        assert fields == {"v": 1}
+        assert sub.drain()[0]["v"] == 1
+
+    def test_fanout_respects_name_filters(self):
+        bus = EventBus()
+        mem = bus.subscribe(names={"mem.op"})
+        every = bus.subscribe()
+        bus.publish("mem.op", {})
+        bus.publish("kv.op", {})
+        assert len(mem) == 1
+        assert len(every) == 2
+
+    def test_full_subscriber_drops_visibly_never_blocks(self):
+        bus = EventBus()
+        slow = bus.subscribe(capacity=2)
+        fast = bus.subscribe()
+        for _ in range(5):
+            bus.publish("e", {})
+        assert len(slow) == 2
+        assert slow.dropped == 3
+        assert bus.dropped == 3
+        assert len(fast) == 5
+        assert bus.published == 5
+
+    def test_unsubscribe_stops_delivery_and_ignores_unknown(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        bus.unsubscribe(sub)
+        bus.unsubscribe(sub)  # second remove is a no-op
+        bus.publish("e", {})
+        assert len(sub) == 0
+        assert bus.n_subscriptions == 0
+
+    def test_capacity_defaults_and_override(self):
+        bus = EventBus(capacity=4)
+        assert bus.subscribe().capacity == 4
+        assert bus.subscribe(capacity=9).capacity == 9
+        assert Subscription().capacity == DEFAULT_CAPACITY
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventBus(capacity=0)
+
+
+class TestSwitchboard:
+    def test_set_bus_flips_enabled(self):
+        assert not obs.enabled()
+        prev = obs.set_bus(EventBus())
+        assert prev is None
+        assert obs.enabled()
+        assert obs.set_bus(None) is not None
+        assert not obs.enabled()
+
+    def test_publish_reaches_bus_without_tracer(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        obs.set_bus(bus)
+        obs.publish("custom.event", x=3)
+        (event,) = sub.drain()
+        assert event["name"] == "custom.event"
+        assert event["x"] == 3
+
+    def test_publish_without_bus_or_tracer_is_noop(self):
+        obs.publish("nowhere", x=1)  # must not raise
+
+    def test_scheme_build_announces_topology(self):
+        from repro.core.scheme import PPScheme
+
+        bus = EventBus()
+        sub = bus.subscribe(names={"scheme.topology"})
+        obs.set_bus(bus)
+        try:
+            PPScheme(q=2, n=3)
+        finally:
+            obs.set_bus(None)
+        (event,) = sub.drain()
+        assert event["copies"] == 3
+        assert event["majority"] == 2
+        assert event["q"] == 2 and event["n"] == 3
+
+    def test_protocol_batch_feeds_bus(self, scheme_2_3):
+        bus = EventBus()
+        sub = bus.subscribe()
+        obs.set_bus(bus)
+        try:
+            store = scheme_2_3.make_store()
+            idx = scheme_2_3.random_request_set(8, seed=1)
+            scheme_2_3.write(idx, values=idx % 7, store=store, time=1)
+        finally:
+            obs.set_bus(None)
+        names = {e["name"] for e in sub.drain()}
+        assert "mem.op" in names
+        assert "protocol.health" in names
+
+
+class TestHealthAggregator:
+    def _health(self, **kw):
+        event = {
+            "name": "protocol.health",
+            "op": "write",
+            "round": 1,
+            "requests": 10,
+            "iterations": 3,
+            "load_skew": 120,
+            "lost": 0,
+            "degraded": 0,
+            "quorum_margin": 1,
+        }
+        event.update(kw)
+        return event
+
+    def test_counters_and_round_gauge(self):
+        reg = MetricsRegistry()
+        agg = HealthAggregator(reg)
+        agg.consume(self._health(round=4, requests=10))
+        agg.consume(self._health(round=5, requests=6, lost=2, degraded=3))
+        snap = reg.snapshot()
+        assert snap["watch.batches"]["value"] == 2
+        assert snap["watch.requests"]["value"] == 16
+        assert snap["watch.lost"]["value"] == 2
+        assert snap["watch.degraded"]["value"] == 3
+        assert snap["watch.round"]["value"] == 5
+        assert agg.batches == 2 and agg.lost == 2 and agg.degraded == 3
+
+    def test_min_quorum_margin_tracks_minimum(self):
+        agg = HealthAggregator(MetricsRegistry())
+        agg.consume(self._health(quorum_margin=2))
+        agg.consume(self._health(quorum_margin=0))
+        agg.consume(self._health(quorum_margin=1))
+        assert agg.min_quorum_margin == 0
+
+    def test_topology_event_sets_gauges(self):
+        reg = MetricsRegistry()
+        agg = HealthAggregator(reg)
+        agg.consume(
+            {"name": "scheme.topology", "copies": 3, "majority": 2}
+        )
+        snap = reg.snapshot()
+        assert snap["watch.copies"]["value"] == 3
+        assert snap["watch.majority"]["value"] == 2
+
+    def test_unrelated_events_ignored(self):
+        reg = MetricsRegistry()
+        agg = HealthAggregator(reg)
+        agg.consume({"name": "mem.op", "var": 1})
+        assert agg.batches == 0
+        assert reg.snapshot() == {}
+
+    def test_histograms_carry_quantiles(self):
+        reg = MetricsRegistry()
+        agg = HealthAggregator(reg)
+        for i in range(1, 101):
+            agg.consume(self._health(load_skew=i, iterations=i % 7 + 1))
+        snap = reg.snapshot()
+        skew = snap["watch.load_skew"]
+        assert skew["count"] == 100
+        assert {"p50", "p95", "p99"} <= set(skew)
+        assert skew["p50"] <= skew["p95"] <= skew["p99"] <= skew["max"]
