@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples docs perf perf-check coverage faults conform watch lint typecheck all clean
+.PHONY: install test bench examples docs perf perf-check coverage faults conform watch explain lint typecheck all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -54,6 +54,9 @@ watch:
 		--state-budget 200000 --rss-budget-mb 512
 	$(PYTHON) -m repro watch attack --seed 0
 	$(PYTHON) tools/watch_report.py
+
+explain:
+	$(PYTHON) -m repro explain --check
 
 record:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

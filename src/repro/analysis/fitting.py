@@ -11,18 +11,27 @@ import math
 
 import numpy as np
 
-__all__ = ["fit_power_law", "fit_exponent_pairs", "geometric_sizes"]
+__all__ = [
+    "fit_power_law",
+    "fit_exponent_pairs",
+    "fit_envelope_constant",
+    "geometric_sizes",
+]
 
 
 def fit_power_law(xs, ys) -> tuple[float, float]:
     """Least-squares fit of ``y = a * x^alpha``; returns ``(alpha, a)``.
 
-    Zero/negative entries are rejected (they have no log).
+    Zero/negative entries are rejected (they have no log), as are
+    NaN/inf entries (``np.polyfit`` would silently return NaN
+    coefficients instead of failing).
     """
     xs = np.asarray(xs, dtype=float)
     ys = np.asarray(ys, dtype=float)
     if xs.shape != ys.shape or xs.size < 2:
         raise ValueError("need at least two (x, y) pairs of equal length")
+    if not (np.all(np.isfinite(xs)) and np.all(np.isfinite(ys))):
+        raise ValueError("power-law fit requires finite data")
     if np.any(xs <= 0) or np.any(ys <= 0):
         raise ValueError("power-law fit requires positive data")
     lx, ly = np.log(xs), np.log(ys)
@@ -39,6 +48,36 @@ def fit_exponent_pairs(xs, ys) -> list[float]:
     for i in range(1, xs.size):
         out.append(float(math.log(ys[i] / ys[i - 1]) / math.log(xs[i] / xs[i - 1])))
     return out
+
+
+def fit_envelope_constant(shapes, measured, slack: float = 1.25) -> float:
+    """Fit the constant ``c`` of an envelope ``measured <= c * shape``.
+
+    Given a calibration series of closed-form shape values (e.g.
+    ``phi_bound(N')`` per sweep point) and the matching measured counts,
+    the tightest admissible constant is the largest measured/shape
+    ratio; ``slack`` (> 1) widens it so that an independent check run
+    with a different seed does not trip the bound on ordinary
+    run-to-run variation.  Theorem envelopes hide constants -- fitting
+    them once per scheme is the only way to turn ``O(.)`` into a
+    checkable number.
+
+    A single calibration point is accepted (a constant needs one
+    ratio); empty or non-finite series are rejected so a broken
+    calibration sweep cannot silently fit ``c = NaN`` and vacuously
+    pass every later check.
+    """
+    shapes = np.asarray(shapes, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    if shapes.shape != measured.shape or shapes.size == 0:
+        raise ValueError("need >= 1 (shape, measured) pair of equal length")
+    if not (np.all(np.isfinite(shapes)) and np.all(np.isfinite(measured))):
+        raise ValueError("envelope fit requires finite data")
+    if np.any(shapes <= 0) or np.any(measured < 0):
+        raise ValueError("envelope fit requires positive shapes, measured >= 0")
+    if slack < 1.0:
+        raise ValueError("slack must be >= 1")
+    return float(np.max(measured / shapes) * slack)
 
 
 def geometric_sizes(lo: int, hi: int, points: int) -> list[int]:

@@ -318,6 +318,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for watch_attack.json ('-' to skip writing)",
     )
 
+    sp = sub.add_parser(
+        "explain",
+        help="theory-vs-measured cost attribution: fit theorem "
+        "envelopes, check the scheme suite, render the ledger report",
+    )
+    sp.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero on envelope violation, dead attack canary, "
+        "or attribution coverage below the floor",
+    )
+    sp.add_argument("--quick", action="store_true",
+                    help="single calibration seed (CI fast path)")
+    sp.add_argument("--slack", type=float, default=1.25,
+                    help="envelope-fit widening factor")
+    sp.add_argument("--coverage-min", type=float, default=0.95,
+                    help="attribution coverage floor")
+    sp.add_argument(
+        "--out", metavar="PATH",
+        default=os.path.join("benchmarks", "results", "explain_report.md"),
+        help="markdown report path ('-' to skip writing)",
+    )
+
     sp = sub.add_parser("verify", help="run the instance self-checks")
     add_qn(sp)
     sp.add_argument("--level", choices=["quick", "standard", "full"],
@@ -685,15 +707,36 @@ def _peak_rss_mb() -> float:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
-def _write_watch_json(out_dir: str, basename: str, payload: dict) -> None:
+def _write_watch_json(
+    out_dir: str, basename: str, payload: dict, compress: bool = False
+) -> None:
+    """Write a run record; ``compress=True`` gzips to ``<name>.gz``.
+
+    Raw watch records are working artifacts, not documentation -- they
+    are gitignored (only the rendered ``watchdog_report.md`` is
+    committed), and the fuzz record is compressed because its snapshot
+    stream dominated the repo's worktree otherwise.
+    """
+    import gzip
     import json
 
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, basename)
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if compress:
+        path += ".gz"
+        # mtime=0 keeps the archive byte-stable for identical payloads
+        with gzip.GzipFile(path, "wb", mtime=0) as fh:
+            fh.write(text.encode())
+    else:
+        with open(path, "w") as fh:
+            fh.write(text)
     print(f"report -> {path}", file=sys.stderr)
+
+
+#: snapshot rows kept in the persisted fuzz record (evenly subsampled;
+#: the rendered report shows at most 20 anyway)
+_MAX_SAVED_SNAPSHOTS = 64
 
 
 def _watch_fuzz(args) -> int:
@@ -745,11 +788,20 @@ def _watch_fuzz(args) -> int:
         ok = False
     if args.out != "-":
         payload = result.to_dict()
+        snaps = payload.get("snapshots", [])
+        if len(snaps) > _MAX_SAVED_SNAPSHOTS:
+            step = (len(snaps) - 1) / (_MAX_SAVED_SNAPSHOTS - 1)
+            picks = sorted(
+                {round(i * step) for i in range(_MAX_SAVED_SNAPSHOTS)}
+                | {len(snaps) - 1}
+            )
+            payload["snapshots"] = [snaps[i] for i in picks]
+        payload["snapshots_total"] = len(snaps)
         payload["peak_rss_mb"] = round(rss_mb, 1)
         payload["state_budget"] = args.state_budget
         payload["rss_budget_mb"] = args.rss_budget_mb
         payload["ok"] = bool(ok)
-        _write_watch_json(args.out, "watch_fuzz.json", payload)
+        _write_watch_json(args.out, "watch_fuzz.json", payload, compress=True)
     print("watchdog: " + ("clean" if ok else "FAILED"))
     return 0 if ok else 1
 
@@ -828,6 +880,33 @@ def _cmd_lint(args) -> int:
     return run_lint(args)
 
 
+def _cmd_explain(args) -> int:
+    from repro.obs.explain import run_explain, write_report
+
+    res = run_explain(
+        quick=args.quick,
+        slack=args.slack,
+        coverage_min=args.coverage_min,
+    )
+    if args.out != "-":
+        path = write_report(res, args.out)
+        print(f"report -> {path}", file=sys.stderr)
+    nviol = len(res.check_violations)
+    print(
+        f"explain: {nviol} check violation(s), attack "
+        f"{'flagged' if res.attack_flagged else 'MISSED'}, "
+        f"attribution coverage {res.coverage * 100:.1f}% "
+        f"(floor {res.coverage_min * 100:.0f}%)"
+    )
+    for v in res.check_violations:
+        print(f"  {v}", file=sys.stderr)
+    if not res.attack_flagged:
+        print("  congestion-attack canary NOT flagged", file=sys.stderr)
+    if args.check and not res.ok:
+        return 1
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from repro.core.verification import verify_instance
 
@@ -848,6 +927,7 @@ _COMMANDS = {
     "watch": _cmd_watch,
     "sweep": _cmd_sweep,
     "expansion": _cmd_expansion,
+    "explain": _cmd_explain,
     "verify": _cmd_verify,
     "lint": _cmd_lint,
 }

@@ -73,9 +73,10 @@ __all__ = [
     "stream_fuzz",
 ]
 
-#: watchdog events: the two op streams plus the bus-only health feed
+#: watchdog events: the two op streams plus the bus-only health and
+#: bound-accounting feeds
 _WATCH_EVENTS = frozenset(
-    {MEM_EVENT, KV_EVENT, "protocol.health", "scheme.topology"}
+    {MEM_EVENT, KV_EVENT, "protocol.health", "scheme.topology", "ledger.batch"}
 )
 
 

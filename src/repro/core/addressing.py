@@ -233,6 +233,10 @@ class AddressLayer:
         self.ops.calls += 1
         if _obs.metrics_enabled():
             _obs.metrics().counter("address.unranks").inc()
+        if _obs.enabled():
+            led = _obs.ledger()
+            if led is not None:
+                led.count("addr.on_the_fly")
         L = self.L
         if index < self.c1:
             i = index
@@ -372,6 +376,9 @@ class AddressLayer:
         N = 262k feasible.
         """
         if _obs.enabled():
+            led = _obs.ledger()
+            if led is not None:
+                led.count("addr.on_the_fly", int(np.asarray(indices).size))
             with _obs.span(
                 "address.vunrank",
                 timer="address.vunrank_seconds",

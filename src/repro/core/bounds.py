@@ -10,13 +10,25 @@ Everything the experiments compare measurements against lives here:
 * the Theorem 1 total-time bound ``O((N')^{1/3} log* N' + log N)``;
 * the Theorem 7 lower bound ``Omega((M/N)^{1/r})`` for exactly-r-copy
   schemes (and Upfal-Wigderson's ``Omega((M/N)^{1/(2r)})`` for average
-  redundancy r, quoted in the introduction).
+  redundancy r, quoted in the introduction);
+* the **bound registry** (:class:`BoundRegistry`): per-scheme
+  *envelopes* ``measured <= c * shape(run)`` over the quantities the
+  ledger counts -- protocol rounds (Theorem 1), ``Phi`` (Theorem 6),
+  field operations per on-the-fly address (Theorem 8), and the
+  per-step congestion distribution.  The theorems fix the shapes; the
+  hidden constants are fitted once per scheme from a calibration sweep
+  (:func:`repro.analysis.fitting.fit_envelope_constant`), after which
+  :meth:`BoundRegistry.check` flags any measured count outside its
+  envelope with exact ``(scheme, N, N', quantity)`` coordinates.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import Callable
 
+from repro.analysis.fitting import fit_envelope_constant
 from repro.gf.modular import log_star
 
 __all__ = [
@@ -31,6 +43,12 @@ __all__ = [
     "lower_bound_exact_r",
     "lower_bound_average_r",
     "log_star",
+    "RunContext",
+    "Envelope",
+    "BoundViolation",
+    "BoundRegistry",
+    "ENVELOPE_QUANTITIES",
+    "envelope_shape",
 ]
 
 #: The paper's contraction constant in recurrence (2).
@@ -121,3 +139,204 @@ def lower_bound_average_r(M: int, N: int, r: float) -> float:
     if r <= 0:
         raise ValueError("r must be positive")
     return (M / N) ** (1.0 / (2.0 * r))
+
+
+# ---------------------------------------------------------------------------
+# Bound registry: fitted theorem envelopes checked against ledger counts
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Coordinates of one measured run, as the envelopes see it.
+
+    ``n_prime`` is the request-batch size N' (the theorems' access-set
+    size); ``N`` the module count of the machine the scheme built.
+    """
+
+    scheme: str
+    N: int
+    M: int
+    n_prime: int
+    copies: int
+    majority: int
+
+
+def _shape_rounds(ctx: RunContext) -> float:
+    """Theorem 1 growth: ``(N')^{1/3} log* N' + log N`` -- total protocol
+    rounds across the batch's phases (the per-scheme constant absorbs
+    the ``q + 1`` phase multiplicity)."""
+    return total_time_bound(ctx.n_prime, ctx.N, ctx.copies - 1)
+
+
+def _shape_phi(ctx: RunContext) -> float:
+    """Theorem 6 growth for ``Phi``: each phase starts with at most
+    ``ceil(N' / (q+1))`` live variables."""
+    per_phase = max(1, -(-ctx.n_prime // max(1, ctx.copies)))
+    return phi_bound(per_phase, ctx.copies - 1)
+
+
+def _shape_addr_field_ops(ctx: RunContext) -> float:
+    """Theorem 8: O(log N) field operations per on-the-fly address (a
+    discrete log is charged ``n ~ log N`` steps, matching
+    :meth:`repro.core.addressing.OpCounter.modeled_steps`)."""
+    return math.log2(max(2.0, float(ctx.N)))
+
+
+def _shape_congestion(ctx: RunContext) -> float:
+    """Practical congestion envelope on admissible loads: near-balanced
+    modules track ``log N'`` (balls-into-bins), never the batch size.
+    This is the canary shape -- an adversarial request set concentrates
+    its copies and blows past any constant fitted on ordinary runs."""
+    return math.log2(max(2.0, float(ctx.n_prime)))
+
+
+#: Quantities the ledger measures and the registry can bound, with the
+#: theorem each envelope's shape comes from.
+ENVELOPE_QUANTITIES: tuple[str, ...] = (
+    "rounds",
+    "phi",
+    "addr_field_ops",
+    "congestion_p95",
+)
+
+_SHAPES: dict[str, tuple[str, Callable[[RunContext], float]]] = {
+    "rounds": ("Theorem 1", _shape_rounds),
+    "phi": ("Theorem 6", _shape_phi),
+    "addr_field_ops": ("Theorem 8", _shape_addr_field_ops),
+    "congestion_p95": ("Fact 1 / balanced-load", _shape_congestion),
+}
+
+
+def envelope_shape(quantity: str, ctx: RunContext) -> float:
+    """The closed-form growth term of ``quantity`` at ``ctx`` (constant
+    excluded)."""
+    try:
+        return _SHAPES[quantity][1](ctx)
+    except KeyError:
+        raise ValueError(f"unknown envelope quantity {quantity!r}") from None
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One fitted bound ``measured <= constant * shape(ctx)``."""
+
+    scheme: str
+    quantity: str
+    theorem: str
+    constant: float
+
+    def bound(self, ctx: RunContext) -> float:
+        """The envelope's value at the run's coordinates."""
+        return self.constant * envelope_shape(self.quantity, ctx)
+
+
+@dataclass(frozen=True)
+class BoundViolation:
+    """A measured count outside its fitted envelope."""
+
+    scheme: str
+    N: int
+    n_prime: int
+    quantity: str
+    measured: float
+    bound: float
+    theorem: str
+
+    def coordinates(self) -> str:
+        """The exact ``(scheme, N, N', quantity)`` coordinate string."""
+        return (
+            f"(scheme={self.scheme}, N={self.N}, N'={self.n_prime}, "
+            f"quantity={self.quantity})"
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.coordinates()}: measured {self.measured:g} > "
+            f"envelope {self.bound:g} [{self.theorem}]"
+        )
+
+
+class BoundRegistry:
+    """Per-(scheme, quantity) fitted envelopes and the check that uses
+    them.
+
+    Fit once from a calibration sweep (:meth:`fit`), then
+    :meth:`check` every later run; constants are plain numbers, so a
+    registry can also be rebuilt from a stored report.
+    """
+
+    def __init__(self) -> None:
+        self._envelopes: dict[tuple[str, str], Envelope] = {}
+
+    def register(self, env: Envelope) -> None:
+        """Add (or replace) one envelope."""
+        if env.quantity not in _SHAPES:
+            raise ValueError(f"unknown envelope quantity {env.quantity!r}")
+        self._envelopes[(env.scheme, env.quantity)] = env
+
+    def fit(
+        self,
+        scheme: str,
+        quantity: str,
+        calibration: list[tuple[RunContext, float]],
+        slack: float = 1.25,
+    ) -> Envelope:
+        """Fit and register the envelope constant for one quantity.
+
+        ``calibration`` pairs each sweep run's :class:`RunContext` with
+        its measured count; the constant is the largest
+        measured/shape ratio widened by ``slack`` (see
+        :func:`repro.analysis.fitting.fit_envelope_constant`).
+        """
+        shapes = [envelope_shape(quantity, ctx) for ctx, _ in calibration]
+        measured = [m for _, m in calibration]
+        const = fit_envelope_constant(shapes, measured, slack=slack)
+        env = Envelope(
+            scheme=scheme,
+            quantity=quantity,
+            theorem=_SHAPES[quantity][0],
+            constant=const,
+        )
+        self.register(env)
+        return env
+
+    def envelope(self, scheme: str, quantity: str) -> Envelope | None:
+        """The registered envelope, or None if never fitted."""
+        return self._envelopes.get((scheme, quantity))
+
+    def envelopes_for(self, scheme: str) -> list[Envelope]:
+        """Every envelope registered for one scheme (stable order)."""
+        return [
+            env
+            for (s, q), env in sorted(self._envelopes.items())
+            if s == scheme
+        ]
+
+    def check(
+        self, ctx: RunContext, measurements: dict[str, float]
+    ) -> list[BoundViolation]:
+        """Check a run's measured counts against the fitted envelopes.
+
+        Quantities without a registered envelope for ``ctx.scheme`` are
+        skipped (no vacuous passes: the caller decides which quantities
+        must exist).  Returns the violations, empty when all within.
+        """
+        out: list[BoundViolation] = []
+        for quantity, measured in sorted(measurements.items()):
+            env = self._envelopes.get((ctx.scheme, quantity))
+            if env is None:
+                continue
+            bound = env.bound(ctx)
+            if measured > bound:
+                out.append(
+                    BoundViolation(
+                        scheme=ctx.scheme,
+                        N=ctx.N,
+                        n_prime=ctx.n_prime,
+                        quantity=quantity,
+                        measured=float(measured),
+                        bound=bound,
+                        theorem=env.theorem,
+                    )
+                )
+        return out

@@ -19,6 +19,8 @@ is only feasible at validation scale and is flagged accordingly.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
+
 import numpy as np
 
 import repro.obs as _obs
@@ -67,7 +69,12 @@ class EnumeratedAddressing:
         self, indices: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Vectorized unrank via the enumeration table."""
-        rows = self._arr[np.asarray(indices, dtype=np.int64)]
+        indices = np.asarray(indices, dtype=np.int64)
+        if _obs.enabled():
+            led = _obs.ledger()
+            if led is not None:
+                led.count("addr.table", int(indices.size))
+        rows = self._arr[indices]
         return rows[:, 0], rows[:, 1], rows[:, 2], rows[:, 3]
 
     def slot_of(self, A: Mat, module_index: int) -> int:
@@ -277,11 +284,17 @@ class PPScheme:
         indices = np.asarray(indices, dtype=np.int64)
         if np.unique(indices).size != indices.size:
             raise ValueError("requests must address distinct variables")
+        led = _obs.ledger() if _obs.enabled() else None
+        if led is not None:
+            t0 = _perf_counter()
+            gf0 = led.gf.as_dict()
         if op == "count":
             modules = self.module_ids_for(indices)
             slots = None
         else:
             modules, slots = self.placement_for(indices)
+        if led is not None:
+            led.note_addressing(int(indices.size), _perf_counter() - t0, gf0)
         return run_access_protocol(
             modules,
             self.N,

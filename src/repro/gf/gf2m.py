@@ -17,11 +17,29 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.gf.opcount import GFOpSink
 from repro.gf.poly import Poly
 
-__all__ = ["GF2m"]
+__all__ = ["GF2m", "set_op_sink"]
 
 _FIELD_CACHE: dict[tuple[int, int], "GF2m"] = {}
+
+#: Optional ledger hook: when a sink is installed every field op tallies
+#: itself (one per element for vector calls).  None means no accounting
+#: and each op pays a single ``is not None`` test.
+_OP_SINK: GFOpSink | None = None
+
+
+def set_op_sink(sink: GFOpSink | None) -> GFOpSink | None:
+    """Install (``GFOpSink``) or clear (``None``) the global field-op sink.
+
+    Returns the previously installed sink so callers can restore it;
+    the bound-accounting ledger is the intended (sole) installer.
+    """
+    global _OP_SINK
+    prev = _OP_SINK
+    _OP_SINK = sink
+    return prev
 
 
 class GF2m:
@@ -119,24 +137,32 @@ class GF2m:
 
     def add(self, a: int, b: int) -> int:
         """Field addition (XOR in characteristic 2)."""
+        if _OP_SINK is not None:
+            _OP_SINK.add += 1
         return a ^ b
 
     sub = add  # characteristic 2: subtraction == addition
 
     def mul(self, a: int, b: int) -> int:
         """Field multiplication via log/exp tables."""
+        if _OP_SINK is not None:
+            _OP_SINK.mul += 1
         if a == 0 or b == 0:
             return 0
         return int(self._exp[self._log[a] + self._log[b]])
 
     def inv(self, a: int) -> int:
         """Multiplicative inverse; raises ZeroDivisionError on 0."""
+        if _OP_SINK is not None:
+            _OP_SINK.mul += 1
         if a == 0:
             raise ZeroDivisionError("inverse of 0 in GF(2^m)")
         return int(self._exp[self.group_order - self._log[a]])
 
     def div(self, a: int, b: int) -> int:
         """Field division a / b."""
+        if _OP_SINK is not None:
+            _OP_SINK.mul += 1
         if b == 0:
             raise ZeroDivisionError("division by 0 in GF(2^m)")
         if a == 0:
@@ -147,6 +173,8 @@ class GF2m:
 
     def pow(self, a: int, e: int) -> int:
         """``a**e`` with integer exponent (negative allowed for nonzero a)."""
+        if _OP_SINK is not None:
+            _OP_SINK.mul += 1
         if a == 0:
             if e == 0:
                 return 1
@@ -158,10 +186,14 @@ class GF2m:
 
     def exp(self, e: int) -> int:
         """``generator**e`` (e taken mod the group order)."""
+        if _OP_SINK is not None:
+            _OP_SINK.exp += 1
         return int(self._exp[e % self.group_order])
 
     def log(self, a: int) -> int:
         """Discrete log base the generator; raises on 0."""
+        if _OP_SINK is not None:
+            _OP_SINK.dlog += 1
         if a == 0:
             raise ValueError("log of 0 is undefined")
         return int(self._log[a])
@@ -212,7 +244,10 @@ class GF2m:
 
     def vadd(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Elementwise field addition of int arrays."""
-        return np.bitwise_xor(a, b)
+        out = np.bitwise_xor(a, b)
+        if _OP_SINK is not None:
+            _OP_SINK.add += int(np.size(out))
+        return out
 
     vsub = vadd
 
@@ -220,6 +255,8 @@ class GF2m:
         """Elementwise field multiplication (0-aware) of int arrays."""
         a = np.asarray(a, dtype=np.int64)
         b = np.asarray(b, dtype=np.int64)
+        if _OP_SINK is not None:
+            _OP_SINK.mul += int(max(a.size, b.size))
         la = self._log[a]
         lb = self._log[b]
         out = self._exp[np.where((la < 0) | (lb < 0), 0, la + lb)]
@@ -228,6 +265,8 @@ class GF2m:
     def vinv(self, a: np.ndarray) -> np.ndarray:
         """Elementwise inverse; raises if any element is 0."""
         a = np.asarray(a, dtype=np.int64)
+        if _OP_SINK is not None:
+            _OP_SINK.mul += int(a.size)
         if np.any(a == 0):
             raise ZeroDivisionError("inverse of 0 in vectorized inv")
         return self._exp[self.group_order - self._log[a]]
@@ -236,6 +275,8 @@ class GF2m:
         """Elementwise division a / b; raises if any b is 0."""
         a = np.asarray(a, dtype=np.int64)
         b = np.asarray(b, dtype=np.int64)
+        if _OP_SINK is not None:
+            _OP_SINK.mul += int(max(a.size, b.size))
         if np.any(b == 0):
             raise ZeroDivisionError("division by 0 in vectorized div")
         la = self._log[a]
@@ -245,6 +286,8 @@ class GF2m:
     def vpow(self, a: np.ndarray, e: int) -> np.ndarray:
         """Elementwise ``a**e`` for a fixed integer exponent e >= 0."""
         a = np.asarray(a, dtype=np.int64)
+        if _OP_SINK is not None:
+            _OP_SINK.mul += int(a.size)
         if e == 0:
             return np.ones_like(a)
         la = self._log[a]
@@ -254,6 +297,8 @@ class GF2m:
     def vlog(self, a: np.ndarray) -> np.ndarray:
         """Elementwise discrete log; raises if any element is 0."""
         a = np.asarray(a, dtype=np.int64)
+        if _OP_SINK is not None:
+            _OP_SINK.dlog += int(a.size)
         la = self._log[a]
         if np.any(la < 0):
             raise ValueError("log of 0 in vectorized log")
@@ -262,6 +307,8 @@ class GF2m:
     def vexp(self, e: np.ndarray) -> np.ndarray:
         """Elementwise ``generator**e`` for an int array of exponents."""
         e = np.asarray(e, dtype=np.int64)
+        if _OP_SINK is not None:
+            _OP_SINK.exp += int(e.size)
         return self._exp[np.mod(e, self.group_order)]
 
     # -- iteration / misc ----------------------------------------------

@@ -1,0 +1,74 @@
+"""Field-operation counting sink for the bound-accounting ledger.
+
+Theorem 8 prices on-the-fly addressing in *field operations* --
+``O(log N)`` of them per address, with a discrete log counted as ``n``
+steps in the paper's cost model.  To check that envelope against
+reality the ledger needs the actual operation counts, so
+:class:`GFOpSink` is a bag of four integer tallies that
+:mod:`repro.gf.gf2m` increments when (and only when) a sink is
+installed via :func:`repro.gf.gf2m.set_op_sink`.
+
+The sink is deliberately decoupled from :mod:`repro.obs`: field code
+stays import-light, and the ledger owns install/uninstall, so with no
+ledger active every operation pays exactly one ``is not None`` test.
+Vectorized calls count one operation per array element -- the paper's
+cost model charges per element, not per numpy dispatch.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GFOpSink"]
+
+
+class GFOpSink:
+    """Integer tallies of GF(2^m) operations, by paper cost class.
+
+    ``add``
+        XOR additions (``add``/``vadd``; subtraction is the same op).
+    ``mul``
+        Table multiplications: ``mul``/``inv``/``div``/``pow`` and
+        their vector forms all cost one table walk each.
+    ``dlog``
+        Discrete logs (``log``/``vlog``) -- the expensive primitive;
+        the addressing cost model charges each one ``n`` steps.
+    ``exp``
+        Generator exponentials (``exp``/``vexp``).
+    """
+
+    __slots__ = ("add", "mul", "dlog", "exp")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every tally."""
+        self.add = 0
+        self.mul = 0
+        self.dlog = 0
+        self.exp = 0
+
+    def total(self) -> int:
+        """All field operations, unweighted."""
+        return self.add + self.mul + self.dlog + self.exp
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot (for ledger snapshots and reports)."""
+        return {
+            "add": int(self.add),
+            "mul": int(self.mul),
+            "dlog": int(self.dlog),
+            "exp": int(self.exp),
+        }
+
+    def merge(self, other: "GFOpSink") -> None:
+        """Accumulate another sink's tallies into this one."""
+        self.add += other.add
+        self.mul += other.mul
+        self.dlog += other.dlog
+        self.exp += other.exp
+
+    def __repr__(self) -> str:
+        return (
+            f"GFOpSink(add={self.add}, mul={self.mul}, "
+            f"dlog={self.dlog}, exp={self.exp})"
+        )

@@ -465,6 +465,13 @@ _EMITTING_ATTRS = frozenset(
     {"event", "counter", "gauge", "histogram", "timer", "publish"}
 )
 
+#: emission methods of the bound-accounting ledger (repro.obs.ledger);
+#: only flagged on names bound from ``obs.ledger()``, so ordinary
+#: ``.count(...)`` calls on lists/strings never match
+_LEDGER_EMITTING_ATTRS = frozenset(
+    {"count", "add_seconds", "note_addressing", "record_batch"}
+)
+
 
 @register
 class UnguardedObservabilityRule(Rule):
@@ -472,7 +479,14 @@ class UnguardedObservabilityRule(Rule):
     must sit behind the single :func:`repro.obs.enabled` switchboard
     guard, so the healthy hot path pays one boolean check and nothing
     else -- the <5% overhead budget of ``tests/obs/test_overhead.py``
-    depends on it.  ``obs.span(...)`` guards itself and is exempt."""
+    depends on it.  ``obs.span(...)`` guards itself and is exempt.
+
+    Ledger emissions (``led.count`` / ``add_seconds`` /
+    ``note_addressing`` / ``record_batch`` on a name bound from
+    ``obs.ledger()``) follow the same contract; the idiomatic
+    ``led = obs.ledger() if obs.enabled() else None`` + ``if led is not
+    None:`` pattern counts as guarded, since a non-None ledger implies
+    ``enabled()`` was True."""
 
     id = "D4"
     name = "unguarded-obs"
@@ -491,15 +505,19 @@ class UnguardedObservabilityRule(Rule):
         tracer_names = self._assigned_from(ctx.tree, obs_aliases, "tracer")
         metrics_names = self._assigned_from(ctx.tree, obs_aliases, "metrics")
         bus_names = self._assigned_from(ctx.tree, obs_aliases, "bus")
+        ledger_names = self._assigned_from(ctx.tree, obs_aliases, "ledger")
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             target = self._emission_target(
-                node, obs_aliases, tracer_names, metrics_names, bus_names
+                node, obs_aliases, tracer_names, metrics_names, bus_names,
+                ledger_names,
             )
             if target is None:
                 continue
-            if self._guarded(ctx, node, guard_names):
+            # a name holding obs.ledger() is None unless enabled() held,
+            # so 'if led is not None:' is as strong as the guard itself
+            if self._guarded(ctx, node, guard_names | ledger_names):
                 continue
             yield ctx.finding(
                 self, node,
@@ -511,18 +529,26 @@ class UnguardedObservabilityRule(Rule):
     def _assigned_from(
         tree: ast.Module, obs_aliases: set[str], attr: str
     ) -> set[str]:
-        """Names bound from ``<obs>.tracer()`` / ``.metrics()`` / ``.bus()``."""
+        """Names bound from ``<obs>.tracer()`` / ``.metrics()`` /
+        ``.bus()`` / ``.ledger()``, directly or through a conditional
+        expression (``led = obs.ledger() if obs.enabled() else None``).
+        """
         out: set[str] = set()
         for node in ast.walk(tree):
-            if (
-                isinstance(node, ast.Assign)
-                and isinstance(node.value, ast.Call)
-                and _is_attr_of(node.value.func, obs_aliases)
-                and node.value.func.attr == attr
-            ):
-                for tgt in node.targets:
-                    if isinstance(tgt, ast.Name):
-                        out.add(tgt.id)
+            if not isinstance(node, ast.Assign):
+                continue
+            values = [node.value]
+            if isinstance(node.value, ast.IfExp):
+                values = [node.value.body, node.value.orelse]
+            for value in values:
+                if (
+                    isinstance(value, ast.Call)
+                    and _is_attr_of(value.func, obs_aliases)
+                    and value.func.attr == attr
+                ):
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Name):
+                            out.add(tgt.id)
         return out
 
     @staticmethod
@@ -548,6 +574,7 @@ class UnguardedObservabilityRule(Rule):
         tracer_names: set[str],
         metrics_names: set[str],
         bus_names: set[str],
+        ledger_names: set[str],
     ) -> str | None:
         func = node.func
         if _is_attr_of(func, obs_aliases):
@@ -571,6 +598,21 @@ class UnguardedObservabilityRule(Rule):
             if isinstance(base, ast.Name) and base.id in (
                 tracer_names | metrics_names | bus_names
             ):
+                return f"{base.id}.{func.attr}"
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _LEDGER_EMITTING_ATTRS
+        ):
+            base = func.value
+            # _obs.ledger().count(...) inline chain
+            if (
+                isinstance(base, ast.Call)
+                and _is_attr_of(base.func, obs_aliases)
+                and base.func.attr == "ledger"
+            ):
+                return f"obs.ledger().{func.attr}"
+            # led.count(...) on a name bound from obs.ledger()
+            if isinstance(base, ast.Name) and base.id in ledger_names:
                 return f"{base.id}.{func.attr}"
         return None
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import _QuantileSketch
+
 __all__ = ["MPCStats"]
 
 
@@ -23,6 +25,11 @@ class MPCStats:
     max_congestion:
         Largest number of simultaneous requests observed at one module
         in a single step.
+    congestion:
+        Per-step congestion *distribution* (deterministic bounded
+        sketch, one observation per machine step).  ``max_congestion``
+        is the exact scalar; the sketch adds p50/p95 so the ledger can
+        tell a uniformly spread load from one hot module.
     served_per_step:
         History of how many modules were busy each step (optional; kept
         when the machine is created with ``history=True``).
@@ -32,6 +39,7 @@ class MPCStats:
     requests: int = 0
     served: int = 0
     max_congestion: int = 0
+    congestion: _QuantileSketch = field(default_factory=_QuantileSketch)
     served_per_step: list[int] = field(default_factory=list)
     keep_history: bool = False
 
@@ -42,8 +50,31 @@ class MPCStats:
         self.served += int(n_served)
         if congestion > self.max_congestion:
             self.max_congestion = int(congestion)
+        self.congestion.observe(float(congestion))
         if self.keep_history:
             self.served_per_step.append(int(n_served))
+
+    def congestion_summary(self) -> dict[str, float | None]:
+        """``{"p50": ..., "p95": ..., "max": ...}`` over per-step congestion.
+
+        Quantiles come from the bounded sketch (approximate past its
+        cap, ``None`` before any step); ``max`` is the exact scalar
+        aggregate.
+        """
+        return {
+            "p50": self.congestion.quantile(0.5),
+            "p95": self.congestion.quantile(0.95),
+            "max": float(self.max_congestion),
+        }
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict view of the counters plus the congestion summary."""
+        return {
+            "steps": self.steps,
+            "requests": self.requests,
+            "served": self.served,
+            "congestion": self.congestion_summary(),
+        }
 
     def merge(self, other: "MPCStats") -> None:
         """Accumulate another stats object into this one.
@@ -51,10 +82,13 @@ class MPCStats:
         History survives whenever *either* side kept one: the merged
         object extends with ``other.served_per_step`` unconditionally
         (empty when the other side kept none) and ORs ``keep_history``.
+        The congestion sketches pool their observations, so quantiles
+        after a merge reflect both executions.
         """
         self.steps += other.steps
         self.requests += other.requests
         self.served += other.served
         self.max_congestion = max(self.max_congestion, other.max_congestion)
+        self.congestion.merge(other.congestion)
         self.served_per_step.extend(other.served_per_step)
         self.keep_history = self.keep_history or other.keep_history

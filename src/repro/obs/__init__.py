@@ -19,11 +19,17 @@ in practice well under 1%.
 - :func:`set_bus` -- install a :class:`~repro.obs.stream.EventBus` (or
   ``None`` to remove it) for live streaming consumers; see
   :mod:`repro.obs.stream` for the bounded-queue backpressure contract.
+- :func:`set_ledger` -- install a
+  :class:`~repro.obs.ledger.Ledger` (or ``None`` to remove it) for
+  bound-quantity accounting: protocol rounds, congestion
+  distributions, field-op counts, and the phase-attribution tree.
+  Installing also routes the :mod:`repro.gf.opcount` sink into
+  :mod:`repro.gf.gf2m`; :func:`ledger` returns the installed one.
 - :func:`publish` -- forward one named event to the tracer (if
   recording) and the bus (if installed); callers must check
   :func:`enabled` first, like every other emission site.
-- :func:`enabled` -- True iff metrics, tracing, or a bus is active; the
-  guard every instrumentation site checks first.
+- :func:`enabled` -- True iff metrics, tracing, a bus, or a ledger is
+  active; the guard every instrumentation site checks first.
 - :func:`collect` -- context manager that enables both for a block and
   restores the previous state.
 
@@ -95,6 +101,7 @@ the live watchdog without perturbing recorded traces:
 |---|---|
 | ``protocol.health`` | ``op, round, requests, copies, majority, modules, iterations, served, max_congestion, load_skew, lost, degraded, quorum_margin`` (one per read/write batch) |
 | ``scheme.topology`` | ``q, n, N, M, copies, majority`` (one per scheme build) |
+| ``ledger.batch`` | ``op, requests, copies, majority, modules, rounds, phi, retries, congestion_p50, congestion_p95, congestion_max`` (one per batch while a ledger is installed) |
 
 ### Overhead guarantees
 
@@ -112,7 +119,13 @@ emitted per-phase iteration counts equal ``AccessResult`` exactly
 ``python -m repro metrics`` prints a JSON snapshot after a batch;
 ``python -m repro profile`` runs the cProfile harness
 (:mod:`repro.obs.profiling`); ``tools/trace_report.py`` renders a trace
-as the per-phase table of EXPERIMENTS.md E06.
+as the per-phase table of EXPERIMENTS.md E06; ``python -m repro
+explain`` (:mod:`repro.obs.explain`) runs the six-scheme E6-style suite
+under a :class:`~repro.obs.ledger.Ledger`, checks every measured count
+against the fitted theorem envelopes of
+:class:`repro.core.bounds.BoundRegistry`, and renders the
+theory-vs-measured and congestion tables into
+``benchmarks/results/explain_report.md``.
 
 Cross-run performance lives one layer up: :mod:`repro.obs.perf` folds
 each benchmark session's timings (and a metrics snapshot) into a
@@ -125,6 +138,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 
+from repro.obs.ledger import Ledger
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -151,6 +165,7 @@ __all__ = [
     "RecordingTracer",
     "EventBus",
     "Subscription",
+    "Ledger",
     "traced",
     "read_jsonl",
     "metrics",
@@ -161,6 +176,8 @@ __all__ = [
     "set_tracer",
     "bus",
     "set_bus",
+    "ledger",
+    "set_ledger",
     "publish",
     "enabled",
     "collect",
@@ -177,7 +194,8 @@ _REGISTRY = MetricsRegistry()
 _metrics_on = False
 _tracer = _NULL_TRACER
 _bus: EventBus | None = None
-_active = False  # metrics, tracing, or bus; the one flag hot guards read
+_ledger: Ledger | None = None
+_active = False  # metrics/tracing/bus/ledger; the one flag hot guards read
 
 
 def metrics() -> MetricsRegistry:
@@ -202,7 +220,7 @@ def disable_metrics() -> None:
     """Turn metrics collection off (the registry keeps its contents)."""
     global _metrics_on, _active
     _metrics_on = False
-    _active = _tracer.enabled or _bus is not None
+    _active = _tracer.enabled or _bus is not None or _ledger is not None
 
 
 def tracer() -> NullTracer | RecordingTracer:
@@ -216,7 +234,10 @@ def set_tracer(t: RecordingTracer | None) -> NullTracer | RecordingTracer:
     global _tracer, _active
     prev = _tracer
     _tracer = _NULL_TRACER if t is None else t
-    _active = _metrics_on or _tracer.enabled or _bus is not None
+    _active = (
+        _metrics_on or _tracer.enabled or _bus is not None
+        or _ledger is not None
+    )
     return prev
 
 
@@ -231,7 +252,36 @@ def set_bus(b: EventBus | None) -> EventBus | None:
     global _bus, _active
     prev = _bus
     _bus = b
-    _active = _metrics_on or _tracer.enabled or _bus is not None
+    _active = (
+        _metrics_on or _tracer.enabled or _bus is not None
+        or _ledger is not None
+    )
+    return prev
+
+
+def ledger() -> Ledger | None:
+    """The installed bound-accounting ledger, or None (the default)."""
+    return _ledger
+
+
+def set_ledger(led: Ledger | None) -> Ledger | None:
+    """Install a :class:`~repro.obs.ledger.Ledger` (``None`` removes it);
+    returns the previous one so callers can restore it.
+
+    Installing wires the GF(2^m) op sink into :mod:`repro.gf.gf2m` and
+    flips :func:`enabled`; removing restores the prior sink, so the
+    disabled path goes back to one guard per site."""
+    global _ledger, _active
+    prev = _ledger
+    if prev is not None and prev is not led:
+        prev.on_uninstall()
+    if led is not None and led is not prev:
+        led.on_install()
+    _ledger = led
+    _active = (
+        _metrics_on or _tracer.enabled or _bus is not None
+        or _ledger is not None
+    )
     return prev
 
 

@@ -1,0 +1,273 @@
+"""Bound-accounting ledger: theory-vs-measured cost attribution.
+
+The paper's claims are *counted* quantities -- ``O((N')^{1/3} log* N' +
+log N)`` protocol rounds (Theorem 1), ``O(log N)`` field operations per
+on-the-fly address (Theorem 8), at most one access per module per round
+-- but wall-clock measurements alone cannot say whether a run stayed
+inside those envelopes, nor where its seconds went.  The
+:class:`Ledger` closes that gap: while installed (via
+:func:`repro.obs.set_ledger`) it
+
+* tallies the bound quantities -- protocol rounds per batch, ``Phi``
+  (max phase iterations), retries, quorum sizes, addresses computed
+  (table-lookup vs on-the-fly), and GF(2^m) field operations by cost
+  class (through the :mod:`repro.gf.opcount` sink it installs);
+* pools the per-round module-congestion *distribution* (the
+  :class:`~repro.obs.metrics._QuantileSketch` kept by
+  :class:`~repro.mpc.stats.MPCStats`), not just the scalar max;
+* attributes wall-clock to a small phase tree -- ``addressing`` /
+  ``arbitration`` / ``memory`` / ``bookkeeping`` -- whose leaves must
+  sum to the :meth:`run`-measured total within tolerance
+  (:meth:`attribution` reports the residual).
+
+Instrumentation sites follow the switchboard contract: they check
+``obs.enabled()`` (or equivalently that :func:`repro.obs.ledger`
+returned a non-``None`` object -- a ledger can only be reached while
+installed, and installing one flips ``enabled()``), so the disabled
+path stays within the <5% budget of ``tests/obs/test_overhead.py``.
+The ledger itself never publishes: the protocol emits the bus-facing
+``ledger.batch`` event from the fields of each :class:`BatchRecord`,
+keeping this module import-light (no :mod:`repro.obs` dependency).
+
+The checking side lives in :mod:`repro.core.bounds`
+(:class:`~repro.core.bounds.BoundRegistry`) and the driver/renderer in
+:mod:`repro.obs.explain` (``python -m repro explain``).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.gf.gf2m import set_op_sink
+from repro.gf.opcount import GFOpSink
+from repro.obs.metrics import _QuantileSketch
+
+__all__ = ["PHASE_KEYS", "BatchRecord", "Ledger"]
+
+#: The attribution tree's leaves.  ``addressing`` is the address
+#: computation before the protocol engine; ``arbitration`` the
+#: ``MPC.step`` winner selection; ``memory`` the store read/write
+#: kernels; ``bookkeeping`` everything else inside a protocol batch
+#: (mask updates, history, quorum checks, event emission).
+PHASE_KEYS = ("addressing", "arbitration", "memory", "bookkeeping")
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """Bound quantities of one protocol access batch.
+
+    ``rounds`` is the total iteration count across the batch's phases
+    (the MPC time spent in the iteration loops), ``phi`` the paper's
+    per-phase worst case, ``retries`` the requests re-issued because a
+    congested module turned them away (``stats.requests - served``).
+    Congestion quantiles summarize the *per-step* distribution.
+    """
+
+    op: str
+    requests: int
+    copies: int
+    majority: int
+    modules: int
+    rounds: int
+    phi: int
+    retries: int
+    seconds: float
+    arbitration_seconds: float
+    memory_seconds: float
+    bookkeeping_seconds: float
+    congestion_p50: float
+    congestion_p95: float
+    congestion_max: int
+
+    def event_fields(self) -> dict[str, object]:
+        """The ``ledger.batch`` bus event payload (numbers only)."""
+        return {
+            "op": self.op,
+            "requests": self.requests,
+            "copies": self.copies,
+            "majority": self.majority,
+            "modules": self.modules,
+            "rounds": self.rounds,
+            "phi": self.phi,
+            "retries": self.retries,
+            "congestion_p50": self.congestion_p50,
+            "congestion_p95": self.congestion_p95,
+            "congestion_max": self.congestion_max,
+        }
+
+
+class Ledger:
+    """Deterministic accounting of bound quantities and wall-clock.
+
+    All counts are exact integers (identical across runs of the same
+    workload); only the ``seconds`` attribution is measured.  Install
+    with :func:`repro.obs.set_ledger` -- that wires the GF op sink into
+    :mod:`repro.gf.gf2m` and flips the global ``enabled()`` guard.
+    """
+
+    def __init__(self) -> None:
+        self.gf = GFOpSink()  # every field op while installed
+        self.addressing_ops = GFOpSink()  # slice spent computing addresses
+        self.congestion = _QuantileSketch()  # pooled per-step congestion
+        self.counters: dict[str, int] = {}
+        self.seconds: dict[str, float] = {k: 0.0 for k in PHASE_KEYS}
+        self.batches: list[BatchRecord] = []
+        self.total_seconds = 0.0
+        self._prev_sink: GFOpSink | None = None
+
+    # -- switchboard lifecycle (called by repro.obs.set_ledger) --------
+
+    def on_install(self) -> None:
+        """Route GF(2^m) op tallies into this ledger's sink."""
+        self._prev_sink = set_op_sink(self.gf)
+
+    def on_uninstall(self) -> None:
+        """Restore the previously installed GF op sink (usually None)."""
+        set_op_sink(self._prev_sink)
+        self._prev_sink = None
+
+    # -- emission sites -------------------------------------------------
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Add ``delta`` to the named integer tally."""
+        self.counters[name] = self.counters.get(name, 0) + int(delta)
+
+    def add_seconds(self, phase: str, dt: float) -> None:
+        """Attribute ``dt`` wall-clock seconds to one tree leaf."""
+        self.seconds[phase] += dt
+
+    def note_addressing(
+        self, count: int, dt: float, gf_before: dict[str, int]
+    ) -> None:
+        """Fold one address-computation block into the ledger.
+
+        ``gf_before`` is ``self.gf.as_dict()`` snapshotted before the
+        block; the delta is the field work attributable to addressing
+        (Theorem 8's quantity).  The table-hit vs on-the-fly split is
+        counted inside the addressing layers themselves
+        (``addr.on_the_fly`` / ``addr.table``).
+        """
+        self.count("addr.computed", count)
+        self.seconds["addressing"] += dt
+        cur = self.gf.as_dict()
+        self.addressing_ops.add += cur["add"] - gf_before["add"]
+        self.addressing_ops.mul += cur["mul"] - gf_before["mul"]
+        self.addressing_ops.dlog += cur["dlog"] - gf_before["dlog"]
+        self.addressing_ops.exp += cur["exp"] - gf_before["exp"]
+
+    def record_batch(
+        self,
+        *,
+        op: str,
+        requests: int,
+        copies: int,
+        majority: int,
+        modules: int,
+        rounds: int,
+        phi: int,
+        stats: object,
+        seconds: float,
+        arbitration_seconds: float,
+        memory_seconds: float,
+    ) -> BatchRecord:
+        """Close out one protocol batch; returns its :class:`BatchRecord`.
+
+        ``bookkeeping`` is derived (batch wall minus the measured
+        arbitration and memory leaves), so the batch's three leaves sum
+        to its wall time exactly.  ``stats`` is the batch's
+        :class:`~repro.mpc.stats.MPCStats`; its congestion sketch is
+        pooled into the run-wide distribution.
+        """
+        retries = int(stats.requests) - int(stats.served)
+        bookkeeping = max(0.0, seconds - arbitration_seconds - memory_seconds)
+        self.seconds["bookkeeping"] += bookkeeping
+        self.count("protocol.batches")
+        self.count("protocol.rounds", rounds)
+        self.count("protocol.retries", retries)
+        self.count("protocol.quorum_copies", majority)
+        self.congestion.merge(stats.congestion)
+        summ = stats.congestion_summary()
+        rec = BatchRecord(
+            op=op,
+            requests=int(requests),
+            copies=int(copies),
+            majority=int(majority),
+            modules=int(modules),
+            rounds=int(rounds),
+            phi=int(phi),
+            retries=retries,
+            seconds=seconds,
+            arbitration_seconds=arbitration_seconds,
+            memory_seconds=memory_seconds,
+            bookkeeping_seconds=bookkeeping,
+            congestion_p50=float(summ["p50"] or 0.0),
+            congestion_p95=float(summ["p95"] or 0.0),
+            congestion_max=int(summ["max"]),
+        )
+        self.batches.append(rec)
+        return rec
+
+    # -- totals ---------------------------------------------------------
+
+    @contextmanager
+    def run(self) -> Iterator["Ledger"]:
+        """Measure the wall-clock total the attribution tree must cover.
+
+        Wrap the whole instrumented region (scheme accesses, workload
+        included if the caller wants it attributed); nestable -- each
+        entry adds its span to ``total_seconds``.
+        """
+        t0 = _time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.total_seconds += _time.perf_counter() - t0
+
+    def attribution(self) -> dict[str, object]:
+        """The phase tree: leaves, their sum, and the unattributed rest.
+
+        ``coverage`` is attributed/total (1.0 when every measured second
+        sits in a leaf); the acceptance bar is coverage >= 0.95.
+        """
+        leaves = {k: self.seconds[k] for k in PHASE_KEYS}
+        attributed = sum(leaves.values())
+        total = self.total_seconds
+        return {
+            "total_seconds": total,
+            "leaves": leaves,
+            "attributed_seconds": attributed,
+            "residual_seconds": max(0.0, total - attributed),
+            "coverage": (attributed / total) if total > 0 else 1.0,
+        }
+
+    def congestion_summary(self) -> dict[str, float | None]:
+        """p50/p95/max of the pooled per-step congestion distribution."""
+        return {
+            "p50": self.congestion.quantile(0.5),
+            "p95": self.congestion.quantile(0.95),
+            "max": self.congestion.quantile(1.0),
+        }
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict view: counters, field ops, congestion, attribution."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gf_ops": self.gf.as_dict(),
+            "addressing_ops": self.addressing_ops.as_dict(),
+            "congestion": self.congestion_summary(),
+            "attribution": self.attribution(),
+            "batches": [rec.event_fields() for rec in self.batches],
+        }
+
+    def reset(self) -> None:
+        """Forget every count, time, and batch (sink stays installed)."""
+        self.gf.reset()
+        self.addressing_ops.reset()
+        self.congestion.reset()
+        self.counters.clear()
+        self.seconds = {k: 0.0 for k in PHASE_KEYS}
+        self.batches.clear()
+        self.total_seconds = 0.0

@@ -171,6 +171,12 @@ class HealthAggregator:
     current round, the minimum quorum margin seen (how close any
     variable class came to losing its majority), and load-skew /
     iteration histograms whose snapshots carry p50/p95/p99.
+
+    Also folds the ledger's ``ledger.batch`` events (published by the
+    protocol whenever a bound-accounting ledger is installed, see
+    :mod:`repro.obs.ledger`) into ``watch.ledger_*`` counters and a
+    ``watch.congestion_p95`` histogram, so a live watchdog sees the
+    congestion distribution the bound registry checks offline.
     """
 
     def __init__(self, registry: "MetricsRegistry"):
@@ -188,6 +194,17 @@ class HealthAggregator:
             m = self.registry
             m.gauge("watch.copies").set(int(event.get("copies", 0)))
             m.gauge("watch.majority").set(int(event.get("majority", 0)))
+            return
+        if name == "ledger.batch":
+            m = self.registry
+            m.counter("watch.ledger_batches").inc()
+            m.counter("watch.ledger_rounds").inc(int(event.get("rounds", 0)))
+            m.counter("watch.ledger_retries").inc(
+                int(event.get("retries", 0))
+            )
+            p95 = event.get("congestion_p95")
+            if p95 is not None:
+                m.histogram("watch.congestion_p95").observe(float(p95))
             return
         if name != "protocol.health":
             return

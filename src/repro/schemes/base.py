@@ -9,9 +9,11 @@ every scheme is measured under identical machine semantics.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from time import perf_counter as _perf_counter
 
 import numpy as np
 
+import repro.obs as _obs
 from repro.core.protocol import AccessResult, run_access_protocol
 
 __all__ = ["MemoryScheme", "KeyedCopyStore"]
@@ -130,12 +132,18 @@ class MemoryScheme(ABC):
         indices = np.asarray(indices, dtype=np.int64)
         if np.unique(indices).size != indices.size:
             raise ValueError("requests must address distinct variables")
+        led = _obs.ledger() if _obs.enabled() else None
+        if led is not None:
+            t0 = _perf_counter()
+            gf0 = led.gf.as_dict()
         modules = self.placement(indices)
         quorum = self.quorum_for(count_as or op)
         slots = None
         engine_op = op
         if op in ("read", "write"):
             slots = self.slots(indices, modules)
+        if led is not None:
+            led.note_addressing(int(indices.size), _perf_counter() - t0, gf0)
         return run_access_protocol(
             modules,
             self.N,

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.analysis.fitting import fit_exponent_pairs, fit_power_law, geometric_sizes
+from repro.analysis.fitting import (
+    fit_envelope_constant,
+    fit_exponent_pairs,
+    fit_power_law,
+    geometric_sizes,
+)
 
 
 class TestFitPowerLaw:
@@ -57,3 +62,59 @@ class TestGeometricSizes:
             geometric_sizes(0, 10, 3)
         with pytest.raises(ValueError):
             geometric_sizes(10, 5, 3)
+
+
+class TestFitPowerLawGuards:
+    def test_nan_rejected(self):
+        xs = np.array([1.0, 2.0, 4.0])
+        ys = np.array([1.0, float("nan"), 2.0])
+        with pytest.raises(ValueError, match="finite"):
+            fit_power_law(xs, ys)
+
+    def test_inf_rejected(self):
+        xs = np.array([1.0, float("inf"), 4.0])
+        with pytest.raises(ValueError, match="finite"):
+            fit_power_law(xs, xs)
+
+
+class TestFitEnvelopeConstant:
+    def test_max_ratio_times_slack(self):
+        c = fit_envelope_constant([2.0, 4.0], [1.0, 3.0], slack=1.5)
+        assert c == pytest.approx(0.75 * 1.5)
+
+    def test_degenerate_single_point(self):
+        assert fit_envelope_constant([5.0], [10.0], slack=1.0) == pytest.approx(2.0)
+
+    def test_monotone_constant_series(self):
+        # flat measurements against a growing shape: the smallest size
+        # dominates the ratio and the fit stays finite
+        shapes = [2.0, 4.0, 8.0]
+        c = fit_envelope_constant(shapes, [3.0, 3.0, 3.0], slack=1.0)
+        assert c == pytest.approx(1.5)
+
+    def test_all_zero_measured_gives_zero(self):
+        assert fit_envelope_constant([1.0, 2.0], [0.0, 0.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_envelope_constant([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_envelope_constant([1.0, 2.0], [1.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            fit_envelope_constant([1.0], [float("nan")])
+
+    def test_nonpositive_shape_rejected(self):
+        with pytest.raises(ValueError):
+            fit_envelope_constant([0.0], [1.0])
+
+    def test_negative_measured_rejected(self):
+        with pytest.raises(ValueError):
+            fit_envelope_constant([1.0], [-1.0])
+
+    def test_slack_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            fit_envelope_constant([1.0], [1.0], slack=0.9)

@@ -1,6 +1,7 @@
 """`repro watch fuzz|attack` and tools/watch_report.py: exit codes,
 artifacts, budget enforcement, report rendering."""
 
+import gzip
 import json
 import sys
 from pathlib import Path
@@ -21,6 +22,12 @@ def clean_bus():
     obs.set_bus(None)
 
 
+def _read_fuzz(tmp_path):
+    """The fuzz record is gzip-compressed (snapshot stream dominates)."""
+    with gzip.open(tmp_path / "watch_fuzz.json.gz", "rt") as fh:
+        return json.load(fh)
+
+
 def _fuzz_args(tmp_path, *extra):
     return [
         "watch", "fuzz", "--seed", "0", "--ops", "300",
@@ -33,18 +40,20 @@ class TestWatchFuzzCli:
         assert main(_fuzz_args(tmp_path)) == 0
         out = capsys.readouterr().out
         assert "watchdog: clean" in out
-        data = json.loads((tmp_path / "watch_fuzz.json").read_text())
+        data = _read_fuzz(tmp_path)
         assert data["ok"]
         assert data["events"] >= 300
         assert data["events_dropped"] == 0
         assert data["peak_rss_mb"] > 0
         assert "watch.batches" in data["metrics"]
+        assert data["snapshots_total"] >= len(data["snapshots"])
+        assert not (tmp_path / "watch_fuzz.json").exists()  # gz only
 
     def test_state_budget_breach_fails(self, capsys, tmp_path):
         assert main(_fuzz_args(tmp_path, "--state-budget", "1")) == 1
         err = capsys.readouterr().err
         assert "state budget busted" in err
-        data = json.loads((tmp_path / "watch_fuzz.json").read_text())
+        data = _read_fuzz(tmp_path)
         assert not data["ok"]
 
     def test_rss_budget_breach_fails(self, capsys, tmp_path):
@@ -58,7 +67,7 @@ class TestWatchFuzzCli:
 
     def test_scheme_selection(self, tmp_path):
         assert main(_fuzz_args(tmp_path, "--scheme", "grid")) == 0
-        data = json.loads((tmp_path / "watch_fuzz.json").read_text())
+        data = _read_fuzz(tmp_path)
         assert data["scheme"] == "grid"
 
     def test_skip_writing_with_dash(self, tmp_path, monkeypatch):

@@ -113,3 +113,87 @@ class TestTimeBounds:
         got = lower_bound_exact_r(M, N, 3)
         assert got == pytest.approx((M / N) ** (1 / 3))
         assert math.log(got, N) == pytest.approx(0.15, abs=0.02)
+
+
+class TestBoundRegistry:
+    def ctx(self, n_prime, scheme="pp2", N=63):
+        from repro.core.bounds import RunContext
+
+        return RunContext(
+            scheme=scheme, N=N, M=84, n_prime=n_prime, copies=3, majority=2
+        )
+
+    def test_shapes_known_quantities(self):
+        from repro.core.bounds import ENVELOPE_QUANTITIES, envelope_shape
+
+        c = self.ctx(32)
+        for q in ENVELOPE_QUANTITIES:
+            assert envelope_shape(q, c) > 0
+
+    def test_unknown_quantity_rejected(self):
+        from repro.core.bounds import BoundRegistry, Envelope, envelope_shape
+
+        with pytest.raises(ValueError, match="unknown envelope"):
+            envelope_shape("nope", self.ctx(8))
+        with pytest.raises(ValueError, match="unknown envelope"):
+            BoundRegistry().register(
+                Envelope(scheme="x", quantity="nope", theorem="?", constant=1)
+            )
+
+    def test_rounds_shape_grows_with_both_coordinates(self):
+        from repro.core.bounds import envelope_shape
+
+        small = envelope_shape("rounds", self.ctx(8))
+        assert envelope_shape("rounds", self.ctx(64)) > small
+        assert envelope_shape("rounds", self.ctx(8, N=1023)) > small
+
+    def test_fit_check_roundtrip(self):
+        from repro.core.bounds import BoundRegistry, envelope_shape
+
+        reg = BoundRegistry()
+        cal = [
+            (self.ctx(n), 0.5 * envelope_shape("rounds", self.ctx(n)))
+            for n in (8, 16, 32)
+        ]
+        env = reg.fit("pp2", "rounds", cal, slack=1.25)
+        assert env.theorem == "Theorem 1"
+        assert env.constant == pytest.approx(0.625)
+        assert reg.envelope("pp2", "rounds") is env
+        # calibration points sit inside their own envelope
+        for c, measured in cal:
+            assert reg.check(c, {"rounds": measured}) == []
+
+    def test_check_flags_with_exact_coordinates(self):
+        from repro.core.bounds import BoundRegistry
+
+        reg = BoundRegistry()
+        reg.fit("pp2", "congestion_p95", [(self.ctx(16), 2.0)], slack=1.0)
+        out = reg.check(self.ctx(16), {"congestion_p95": 50.0})
+        assert len(out) == 1
+        v = out[0]
+        assert v.coordinates() == (
+            "(scheme=pp2, N=63, N'=16, quantity=congestion_p95)"
+        )
+        assert "measured 50" in str(v) and "Fact 1" in str(v)
+
+    def test_check_skips_unregistered(self):
+        from repro.core.bounds import BoundRegistry
+
+        reg = BoundRegistry()
+        reg.fit("pp2", "rounds", [(self.ctx(16), 4.0)])
+        # phi has no envelope for pp2; a huge value must NOT pass silently
+        # as a violation of some other quantity -- it is skipped
+        assert reg.check(self.ctx(16), {"phi": 1e9}) == []
+        # and a different scheme has no envelopes at all
+        assert reg.check(self.ctx(16, scheme="uw"), {"rounds": 1e9}) == []
+
+    def test_envelopes_for_stable_order(self):
+        from repro.core.bounds import BoundRegistry
+
+        reg = BoundRegistry()
+        reg.fit("pp2", "phi", [(self.ctx(16), 3.0)])
+        reg.fit("pp2", "addr_field_ops", [(self.ctx(16), 6.0)])
+        reg.fit("uw", "rounds", [(self.ctx(16, scheme="uw"), 9.0)])
+        assert [e.quantity for e in reg.envelopes_for("pp2")] == [
+            "addr_field_ops", "phi",
+        ]

@@ -1,0 +1,87 @@
+"""Tests for the GF(2^m) operation-counting sink."""
+
+import numpy as np
+
+from repro.gf.gf2m import GF2m, set_op_sink
+from repro.gf.opcount import GFOpSink
+
+
+def with_sink():
+    sink = GFOpSink()
+    prev = set_op_sink(sink)
+    assert prev is None
+    return sink
+
+
+def drop_sink():
+    set_op_sink(None)
+
+
+class TestSink:
+    def test_scalar_ops_counted(self):
+        sink = with_sink()
+        try:
+            f = GF2m(3)
+            f.add(1, 2)
+            f.mul(3, 5)
+            f.inv(3)
+            f.div(6, 3)
+            f.pow(3, 4)
+            f.exp(2)
+            f.log(4)
+        finally:
+            drop_sink()
+        assert sink.add == 1
+        assert sink.mul == 4  # mul + inv + div + pow each charge one mul
+        assert sink.exp == 1
+        assert sink.dlog == 1
+        assert sink.total() == 7
+
+    def test_vector_ops_counted_by_size(self):
+        sink = with_sink()
+        try:
+            f = GF2m(3)
+            a = np.array([1, 2, 3, 4], dtype=np.int64)
+            b = np.array([5, 6, 7, 1], dtype=np.int64)
+            f.vadd(a, b)
+            f.vmul(a, b)
+            f.vinv(b)
+            f.vlog(b)
+            f.vexp(np.array([0, 1], dtype=np.int64))
+        finally:
+            drop_sink()
+        assert sink.add == 4
+        assert sink.mul == 8  # vmul 4 + vinv 4
+        assert sink.dlog == 4
+        assert sink.exp == 2
+
+    def test_no_sink_no_counting(self):
+        f = GF2m(3)
+        f.mul(3, 5)  # must not raise with no sink installed
+        sink = with_sink()
+        drop_sink()
+        f.mul(3, 5)
+        assert sink.total() == 0
+
+    def test_set_returns_previous(self):
+        a, b = GFOpSink(), GFOpSink()
+        assert set_op_sink(a) is None
+        assert set_op_sink(b) is a
+        assert set_op_sink(None) is b
+
+
+class TestAccounting:
+    def test_as_dict_merge_reset_repr(self):
+        a = GFOpSink()
+        a.add, a.mul, a.dlog, a.exp = 1, 2, 3, 4
+        assert a.as_dict() == {"add": 1, "mul": 2, "dlog": 3, "exp": 4}
+        assert a.total() == 10
+        b = GFOpSink()
+        b.mul = 5
+        a.merge(b)
+        assert a.mul == 7 and b.mul == 5
+        assert "mul=7" in repr(a)
+        a.reset()
+        assert a.total() == 0 and a.as_dict() == {
+            "add": 0, "mul": 0, "dlog": 0, "exp": 0,
+        }

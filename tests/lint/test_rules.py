@@ -262,6 +262,59 @@ class TestD4UnguardedObs:
         assert lint_source(src, CORE) == []
 
 
+class TestD4LedgerEmission:
+    OBS_IMPORT = "import repro.obs as _obs\n"
+
+    def test_unguarded_ledger_chain_flagged(self):
+        src = self.OBS_IMPORT + "_obs.ledger().count('addr.computed')\n"
+        assert rules_of(lint_source(src, CORE)) == ["D4"]
+
+    def test_unguarded_bound_ledger_flagged(self):
+        src = self.OBS_IMPORT + (
+            "def emit():\n"
+            "    led = _obs.ledger()\n"
+            "    led.record_batch(op='read')\n"
+        )
+        assert rules_of(lint_source(src, CORE)) == ["D4"]
+
+    def test_conditional_binding_with_none_check_clean(self):
+        # the repo's idiom: a ledger bound under enabled() can only be
+        # non-None while observability is on
+        src = self.OBS_IMPORT + (
+            "def emit():\n"
+            "    led = _obs.ledger() if _obs.enabled() else None\n"
+            "    if led is not None:\n"
+            "        led.count('addr.computed', 4)\n"
+        )
+        assert lint_source(src, CORE) == []
+
+    def test_enabled_block_binding_clean(self):
+        src = self.OBS_IMPORT + (
+            "def emit():\n"
+            "    if _obs.enabled():\n"
+            "        led = _obs.ledger()\n"
+            "        if led is not None:\n"
+            "            led.add_seconds('memory', 0.1)\n"
+        )
+        assert lint_source(src, CORE) == []
+
+    def test_none_check_alone_suffices(self):
+        src = self.OBS_IMPORT + (
+            "def emit():\n"
+            "    led = _obs.ledger()\n"
+            "    if led is not None:\n"
+            "        led.note_addressing(4, 0.1, {})\n"
+        )
+        assert lint_source(src, CORE) == []
+
+    def test_ordinary_count_method_not_confused(self):
+        src = self.OBS_IMPORT + (
+            "def f(xs):\n"
+            "    return xs.count(1)\n"
+        )
+        assert lint_source(src, CORE) == []
+
+
 # ---------------------------------------------------------------------------
 # D5 -- mutable shared state
 

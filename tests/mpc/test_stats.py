@@ -60,3 +60,40 @@ class TestMPCStats:
         b.record_step(2, 2, 2)
         a.merge(b)
         assert a.served_per_step == [] and a.keep_history is False
+
+
+class TestCongestionDistribution:
+    def test_summary_quantiles(self):
+        s = MPCStats()
+        for c in [1, 1, 1, 1, 1, 1, 1, 1, 1, 8]:
+            s.record_step(c, c, c)
+        summ = s.congestion_summary()
+        assert summ["p50"] == 1
+        assert summ["p95"] == 8
+        assert summ["max"] == 8
+
+    def test_empty_summary(self):
+        s = MPCStats()
+        summ = s.congestion_summary()
+        assert summ["p50"] is None and summ["p95"] is None
+        assert summ["max"] == 0
+
+    def test_merge_pools_distributions(self):
+        a, b = MPCStats(), MPCStats()
+        for _ in range(10):
+            a.record_step(1, 1, 1)
+        for _ in range(10):
+            b.record_step(5, 5, 5)
+        a.merge(b)
+        summ = a.congestion_summary()
+        assert summ["max"] == 5
+        assert summ["p95"] == 5
+        assert b.congestion_summary()["p50"] == 5  # other left untouched
+
+    def test_snapshot_shape(self):
+        s = MPCStats()
+        s.record_step(4, 2, 3)
+        snap = s.snapshot()
+        assert snap["steps"] == 1 and snap["requests"] == 4
+        assert snap["served"] == 2
+        assert snap["congestion"]["max"] == 3

@@ -11,9 +11,11 @@ def clean_obs_state():
     obs.disable_metrics()
     obs.set_tracer(None)
     obs.set_bus(None)
+    obs.set_ledger(None)
     obs.metrics().reset()
     yield
     obs.disable_metrics()
     obs.set_tracer(None)
     obs.set_bus(None)
+    obs.set_ledger(None)
     obs.metrics().reset()

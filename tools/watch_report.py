@@ -170,10 +170,18 @@ def render(fuzz: dict | None, attack: dict | None) -> str:
 
 
 def load_optional(path: Path) -> dict | None:
-    if not path.exists():
-        return None
-    with open(path) as fh:
-        return json.load(fh)
+    """Load a run record, accepting a gzipped ``<name>.gz`` sibling
+    (``repro watch fuzz`` compresses its snapshot-heavy record)."""
+    gz = path.with_name(path.name + ".gz")
+    if path.exists():
+        with open(path) as fh:
+            return json.load(fh)
+    if gz.exists():
+        import gzip
+
+        with gzip.open(gz, "rt") as fh:
+            return json.load(fh)
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
