@@ -140,6 +140,8 @@ def build_parser() -> argparse.ArgumentParser:
                     default="cumulative", help="pstats sort key")
     sp.add_argument("--limit", type=int, default=15,
                     help="stats entries to print")
+    sp.add_argument("--engine", choices=["vector", "scalar"],
+                    default="vector", help="protocol engine to profile")
 
     sp = sub.add_parser("sweep", help="Phi vs N (Theorem 6 series)")
     sp.add_argument("--max-n", type=int, default=7, help="largest n (odd, >= 3)")
@@ -169,6 +171,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="directory to write the run record into")
     vp.add_argument("--repeats", type=int, default=3,
                     help="recorded repetitions per timed section")
+    vp.add_argument("--engine", choices=["vector", "scalar", "both"],
+                    default="vector",
+                    help="protocol engine for the protocol sections "
+                    "('both' also records the engine-speedup scalar)")
 
     vp = psub.add_parser(
         "report", help="render the trend dashboard (sparklines per metric)"
@@ -247,6 +253,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also write each scheme's JSONL trace here")
     vp.add_argument("--no-canary", action="store_true",
                     help="skip the stale-majority checker self-test")
+    vp.add_argument("--engine", choices=["vector", "scalar"],
+                    default="vector",
+                    help="protocol engine every scheme runs under")
     vp.add_argument(
         "--out", metavar="DIR",
         default=os.path.join("benchmarks", "results"),
@@ -297,6 +306,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "entries (bounded-memory assertion)")
     vp.add_argument("--rss-budget-mb", type=int, default=None,
                     help="fail if process peak RSS exceeds this many MiB")
+    vp.add_argument("--engine", choices=["vector", "scalar"],
+                    default="vector", help="protocol engine under watch")
     vp.add_argument(
         "--out", metavar="DIR",
         default=os.path.join("benchmarks", "results"),
@@ -312,6 +323,9 @@ def build_parser() -> argparse.ArgumentParser:
     vp.add_argument("--victims", type=int, default=3)
     vp.add_argument("--window", type=int, default=8,
                     help="rounds the streaming checker keeps open")
+    vp.add_argument("--engine", choices=["vector", "scalar"],
+                    default="vector",
+                    help="protocol engine the attack runs under")
     vp.add_argument(
         "--out", metavar="DIR",
         default=os.path.join("benchmarks", "results"),
@@ -477,7 +491,8 @@ def _cmd_profile(args) -> int:
     from repro.obs.profiling import profile_access
 
     profile_access(
-        n=args.n, count=args.count, sort=args.sort, limit=args.limit
+        n=args.n, count=args.count, sort=args.sort, limit=args.limit,
+        engine=args.engine,
     )
     return 0
 
@@ -491,7 +506,7 @@ def _perf_record(args) -> int:
     obs.enable_metrics()
     obs.metrics().reset()
     try:
-        run_quick_suite(rec, repeats=args.repeats)
+        run_quick_suite(rec, repeats=args.repeats, engine=args.engine)
     finally:
         if not was_on:
             obs.disable_metrics()
@@ -638,11 +653,12 @@ def _conform_fuzz(args) -> int:
         total_ops=args.ops,
         trace_dir=args.trace_dir,
         max_batch=args.max_batch,
+        engine=args.engine,
     )
     print(render_markdown(result))
     ok = result.ok
     if not args.no_canary:
-        canary = stale_majority_canary(seed=args.seed)
+        canary = stale_majority_canary(seed=args.seed, engine=args.engine)
         verdict = "DETECTED" if canary.detected else "MISSED"
         print(
             f"\nStale-majority canary: {verdict} "
@@ -750,7 +766,7 @@ def _watch_fuzz(args) -> int:
 
     print(
         f"watch fuzz: scheme={args.scheme} ops>={args.ops} "
-        f"seed={args.seed} window={args.window}"
+        f"seed={args.seed} window={args.window} engine={args.engine}"
     )
     result = stream_fuzz(
         scheme=args.scheme,
@@ -760,6 +776,7 @@ def _watch_fuzz(args) -> int:
         max_batch=args.max_batch,
         snapshot_every=args.snapshot_every,
         on_snapshot=progress,
+        engine=args.engine,
     )
     rss_mb = _peak_rss_mb()
     ok = result.ok
@@ -810,7 +827,8 @@ def _watch_attack(args) -> int:
     from repro.conformance.streaming import run_watchdog_canary
 
     result = run_watchdog_canary(
-        seed=args.seed, n_victims=args.victims, window=args.window
+        seed=args.seed, n_victims=args.victims, window=args.window,
+        engine=args.engine,
     )
     verdict = "DETECTED ONLINE" if result.detected_online else "MISSED"
     print(

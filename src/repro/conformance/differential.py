@@ -140,6 +140,7 @@ class FuzzResult:
     total_ops: int
     M: int  # common variable domain (min over schemes)
     rows: list[SchemeFuzzRow] = field(default_factory=list)
+    engine: str = "vector"  # protocol engine every scheme ran under
 
     @property
     def ok(self) -> bool:
@@ -153,6 +154,7 @@ class FuzzResult:
             "seed": self.seed,
             "total_ops": self.total_ops,
             "M": self.M,
+            "engine": self.engine,
             "ok": self.ok,
             "rows": [r.to_dict() for r in self.rows],
         }
@@ -165,6 +167,7 @@ class FuzzResult:
             total_ops=int(d["total_ops"]),
             M=int(d["M"]),
             rows=[SchemeFuzzRow.from_dict(r) for r in d.get("rows", [])],
+            engine=str(d.get("engine", "vector")),
         )
 
 
@@ -173,12 +176,15 @@ def fuzz_scheme(
     plan: list[tuple[str, np.ndarray]],
     checker: ConsistencyChecker | None = None,
     trace_path: str | None = None,
+    engine: str | None = None,
 ) -> SchemeFuzzRow:
     """Replay one batch plan through ``scheme``, diff against the serial
     oracle, and run the consistency checker over the recorded trace.
 
     Optionally persists the full JSONL trace to ``trace_path`` (done
     unconditionally, so a failing CI run leaves the evidence behind).
+    ``engine`` selects the protocol executor for every access
+    (:mod:`repro.core.engine`); the verdicts must not depend on it.
     """
     checker = checker or ConsistencyChecker()
     oracle: dict[int, int] = {}
@@ -191,11 +197,11 @@ def fuzz_scheme(
             ops += idx.size
             if kind == "write":
                 vals = _value_for(t, idx)
-                scheme.write(idx, values=vals, store=store, time=t)
+                scheme.write(idx, values=vals, store=store, time=t, engine=engine)
                 for v, x in zip(idx, vals):
                     oracle[int(v)] = int(x)
             else:
-                res = scheme.read(idx, store=store, time=t)
+                res = scheme.read(idx, store=store, time=t, engine=engine)
                 want = np.array(
                     [oracle.get(int(v), -1) for v in idx], dtype=np.int64
                 )
@@ -204,7 +210,7 @@ def fuzz_scheme(
         final_mismatches = 0
         if oracle:
             sweep = np.array(sorted(oracle), dtype=np.int64)
-            res = scheme.read(sweep, store=store, time=t + 1)
+            res = scheme.read(sweep, store=store, time=t + 1, engine=engine)
             want = np.array([oracle[int(v)] for v in sweep], dtype=np.int64)
             final_mismatches = int(np.count_nonzero(res.values != want))
             ops += sweep.size
@@ -227,6 +233,7 @@ def run_fuzz(
     schemes: list[MemoryScheme] | None = None,
     trace_dir: str | None = None,
     max_batch: int = 32,
+    engine: str | None = None,
 ) -> FuzzResult:
     """Differential fuzz: one workload, every scheme, three verdicts.
 
@@ -235,6 +242,8 @@ def run_fuzz(
     ``trace_dir`` is given, each scheme's JSONL trace is written there
     (``trace_<scheme>.jsonl``) for post-mortem checking.
     """
+    from repro.core.engine import resolve_engine
+
     schemes = schemes if schemes is not None else conformance_schemes()
     if not schemes:
         raise ValueError("need at least one scheme to fuzz")
@@ -242,7 +251,9 @@ def run_fuzz(
     plan = op_batches(
         M, total_ops, seed=seed, max_batch=min(max_batch, M)
     )
-    result = FuzzResult(seed=seed, total_ops=total_ops, M=M)
+    result = FuzzResult(
+        seed=seed, total_ops=total_ops, M=M, engine=resolve_engine(engine)
+    )
     for i, scheme in enumerate(schemes):
         trace_path = None
         if trace_dir is not None:
@@ -250,7 +261,9 @@ def run_fuzz(
             trace_path = os.path.join(
                 trace_dir, f"trace_{i}_{scheme.name.replace(' ', '_')}.jsonl"
             )
-        result.rows.append(fuzz_scheme(scheme, plan, trace_path=trace_path))
+        result.rows.append(
+            fuzz_scheme(scheme, plan, trace_path=trace_path, engine=engine)
+        )
     return result
 
 
@@ -277,7 +290,9 @@ class CanaryResult:
         )
 
 
-def stale_majority_canary(seed: int = 0, n_victims: int = 3) -> CanaryResult:
+def stale_majority_canary(
+    seed: int = 0, n_victims: int = 3, engine: str | None = None
+) -> CanaryResult:
     """Force the one unmaskable fault and demand the checker sees it.
 
     On the q = 2 construction (3 copies, majority 2, tolerance 1): write
@@ -295,7 +310,7 @@ def stale_majority_canary(seed: int = 0, n_victims: int = 3) -> CanaryResult:
     online watchdog equivalent is
     :func:`repro.conformance.streaming.run_watchdog_canary`).
     """
-    attack = build_stale_majority(seed=seed, n_victims=n_victims)
+    attack = build_stale_majority(seed=seed, n_victims=n_victims, engine=engine)
     with record() as rec:
         attack.seed_history()
         attack.go_stale()  # q/2 + 1 stale copies, fresh remnant cut
@@ -316,7 +331,8 @@ def render_markdown(result: FuzzResult) -> str:
         "",
         f"Workload: seed {result.seed}, >= {result.total_ops} operations "
         f"over M = {result.M} shared variables (common domain), replayed "
-        "identically through every scheme and a serial dict oracle.",
+        f"identically through every scheme and a serial dict oracle "
+        f"(protocol engine: {result.engine}).",
         "",
         "| scheme | N | M | ops | oracle diffs | final diffs | "
         "checker violations | verdict |",

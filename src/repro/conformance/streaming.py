@@ -442,6 +442,7 @@ def run_watchdog_canary(
     seed: int = 0,
     n_victims: int = 3,
     window: int = 8,
+    engine: str | None = None,
 ) -> OnlineCanaryResult:
     """Run the q/2+1 stale-majority attack under a live watchdog.
 
@@ -457,7 +458,7 @@ def run_watchdog_canary(
     from repro.faults.attacks import build_stale_majority, payload_values
 
     # -- attack run: q/2 + 1 stale copies, fresh remnant unreachable ----
-    attack = build_stale_majority(seed=seed, n_victims=n_victims)
+    attack = build_stale_majority(seed=seed, n_victims=n_victims, engine=engine)
     bus = EventBus()
     watchdog = Watchdog(bus, window=window)
     prev = _obs.set_bus(bus)
@@ -484,7 +485,7 @@ def run_watchdog_canary(
         _obs.set_bus(prev)
 
     # -- control run: exactly q/2 stale copies, fresh majority answers --
-    control = build_stale_majority(seed=seed, n_victims=n_victims)
+    control = build_stale_majority(seed=seed, n_victims=n_victims, engine=engine)
     cbus = EventBus()
     cwatch = Watchdog(cbus, window=window)
     cprev = _obs.set_bus(cbus)
@@ -596,6 +597,7 @@ def stream_fuzz(
     max_batch: int = 32,
     snapshot_every: int = 50,
     on_snapshot: Callable[[HealthSnapshot], None] | None = None,
+    engine: str | None = None,
 ) -> StreamFuzzResult:
     """Replay a seeded workload with the live watchdog attached.
 
@@ -626,10 +628,11 @@ def stream_fuzz(
             ops += idx.size
             if kind == "write":
                 scheme.write(
-                    idx, values=payload_values(t, idx), store=store, time=t
+                    idx, values=payload_values(t, idx), store=store, time=t,
+                    engine=engine,
                 )
             else:
-                scheme.read(idx, store=store, time=t)
+                scheme.read(idx, store=store, time=t, engine=engine)
             watchdog.poll()
             if snapshot_every and t % snapshot_every == 0:
                 snap = watchdog.snapshot()

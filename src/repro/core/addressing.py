@@ -49,7 +49,55 @@ from repro.gf.subfield import BasisDecomposition, FieldEmbedding
 from repro.core.graph import MemoryGraph
 from repro.pgl.matrix import Mat, pgl2_canon, pgl2_inv, pgl2_mul, vcanon, vmul
 
-__all__ = ["OpCounter", "AddressLayer"]
+__all__ = ["OpCounter", "AddressLayer", "batched_slots"]
+
+
+def batched_slots(
+    graph: MemoryGraph,
+    mats: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    modules: np.ndarray,
+) -> np.ndarray:
+    """Vectorized Lemma-4 slot computation (the batched coset lookup).
+
+    For each (variable matrix A, module u): the slot is the unique k
+    with ``B_u (1, p_k; 0, 1) H0 == A H0``; scan the |H0| = q^3 - q
+    right translates of ``B_u^{-1} A`` for the shape ``(1, p; 0, 1)``
+    with ``p in P_gamma``.  Shared by the O(log N) layer and the
+    enumerated fallback -- the lookup depends only on the graph, not on
+    how the matrices were unranked.
+    """
+    F = graph.F
+    V, copies = modules.shape
+    qn1 = F.order + 1
+    s = modules // qn1
+    t = modules % qn1 - 1
+    gs = F.vexp(s.reshape(-1))
+    tflat = t.reshape(-1)
+    diag = tflat < 0
+    # B_u: (gs, 0; 0, 1) when diag else (t, gs; 1, 0)
+    Ba = np.where(diag, gs, tflat)
+    Bb = np.where(diag, np.int64(0), gs)
+    Bc = np.where(diag, np.int64(0), np.int64(1))
+    Bd = np.where(diag, np.int64(1), np.int64(0))
+    # projective inverse = adjugate (char 2): (d, b; c, a)
+    Ia, Ib, Ic, Id = Bd, Bb, Bc, Ba
+    # broadcast A over its copies
+    Aa = np.repeat(mats[0], copies)
+    Ab = np.repeat(mats[1], copies)
+    Ac = np.repeat(mats[2], copies)
+    Ad = np.repeat(mats[3], copies)
+    Ca, Cb, Cc, Cd = vmul(F, (Ia, Ib, Ic, Id), (Aa, Ab, Ac, Ad))
+    slot = np.full(V * copies, -1, dtype=np.int64)
+    for h in graph.H0.elements():
+        Ta, Tb, Tc, Td = vcanon(
+            F, vmul(F, (Ca, Cb, Cc, Cd), tuple(np.int64(x) for x in h))
+        )
+        pidx = graph.p_gamma_inverse[Tb]
+        mask = (Tc == 0) & (Td == 1) & (Ta == 1) & (pidx >= 0)
+        slot = np.where(mask, pidx, slot)
+    if np.any(slot < 0):
+        raise AssertionError("vectorized slot computation failed")
+    return slot.reshape(V, copies)
 
 
 @dataclass
@@ -634,6 +682,24 @@ class AddressLayer:
             u = self.graph.modules.index_of(mat)
             out.append((u, self.slot_of(A, u)))
         return out
+
+    def vslots(
+        self,
+        mats: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        modules: np.ndarray,
+    ) -> np.ndarray:
+        """Batched :meth:`slot_of` -- ``(V, q+1)`` slots for canonical
+        variable matrices against their copy modules."""
+        return batched_slots(self.graph, mats, modules)
+
+    def vlocate(
+        self, indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`locate`: ``(modules, slots)``, both
+        ``(V, q+1)``, for a batch of variable indices."""
+        mats = self.vunrank(indices)
+        modules = self.graph.vgamma_variables(mats)
+        return modules, self.vslots(mats, modules)
 
     def __repr__(self) -> str:
         return (

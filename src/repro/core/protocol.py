@@ -9,9 +9,15 @@ variable is still unsatisfied re-requests its copy's module; each module
 serves one request per iteration; a variable is satisfied once a
 majority ``q/2 + 1`` of its copies has been accessed.
 
-The simulator is fully vectorized: one numpy arbitration pass per
-iteration, so a quarter-million-request access at q = 2 runs in seconds.
-It can run in three modes:
+The simulator runs under one of two *engines* (see
+:mod:`repro.core.engine`): the default ``'vector'`` engine executes
+each iteration as one numpy arbitration pass -- a quarter-million-
+request access at q = 2 runs in seconds -- while the ``'scalar'``
+engine replays the identical protocol one access per processor in pure
+Python as the differential-testing oracle.  Both engines share this
+module's validation, fault classification, and observability emission,
+so their outputs are comparable field for field.  The protocol can run
+in three modes:
 
 * ``op='count'``  -- iteration counting only (Theorems 5/6 experiments);
 * ``op='write'``  -- winning copies are stamped (value, time) in a
@@ -74,6 +80,8 @@ class AccessResult:
     #: per-variable satisfied/degraded/lost classification; populated
     #: only when the run had faults injected (None on the healthy path)
     fault_report: FaultReport | None = None
+    #: execution engine that produced this result ('vector' | 'scalar')
+    engine: str = "vector"
 
     @property
     def iterations_per_phase(self) -> list[int]:
@@ -123,6 +131,7 @@ def run_access_protocol(
     grey_modules: np.ndarray | None = None,
     retry_limit: int | None = None,
     var_ids: np.ndarray | None = None,
+    engine: str | None = None,
 ) -> AccessResult:
     """Run the q+1-phase majority protocol for one batch of requests.
 
@@ -187,11 +196,21 @@ def run_access_protocol(
         batch positions.  Events are emitted only for read/write ops and
         only while a recording tracer is installed, so the healthy path
         pays nothing extra.
+    engine:
+        ``'vector'`` (numpy batch execution, the default), ``'scalar'``
+        (the pure-Python per-processor oracle), or None to resolve via
+        ``$REPRO_ENGINE`` -- see :mod:`repro.core.engine`.  Both
+        engines produce bit-identical results by construction; the
+        differential suite enforces it.
 
     Returns
     -------
     :class:`AccessResult` -- iteration counts, histories, and read values.
     """
+    from repro.core.engine import resolve_engine, run_phase_scalar
+
+    eng = resolve_engine(engine)
+    phase_runner = _run_phase if eng == "vector" else run_phase_scalar
     module_ids = np.asarray(module_ids, dtype=np.int64)
     if module_ids.ndim != 2:
         raise ValueError("module_ids must be (V, q+1)")
@@ -281,7 +300,8 @@ def run_access_protocol(
     mem0 = led.seconds["memory"] if led is not None else 0.0
     t_start = _time.perf_counter() if obs_on else 0.0
     with _obs.span(
-        "protocol.access", op=op, requests=V, q=q, phases=phase_count
+        "protocol.access", op=op, requests=V, q=q, phases=phase_count,
+        engine=eng,
     ) as acc_span:
         for k in range(phase_count):
             phase_vars = np.arange(V, dtype=np.int64)[
@@ -290,7 +310,7 @@ def run_access_protocol(
             with _obs.span(
                 "protocol.phase", phase=k, variables=int(phase_vars.size)
             ) as ph_span:
-                trace = _run_phase(
+                trace = phase_runner(
                     phase_vars,
                     module_ids,
                     slots,
@@ -375,6 +395,7 @@ def run_access_protocol(
         mpc_stats=mpc.stats,
         unsatisfiable=unsatisfiable,
         fault_report=fault_report,
+        engine=eng,
     )
 
 

@@ -24,11 +24,11 @@ from time import perf_counter as _perf_counter
 import numpy as np
 
 import repro.obs as _obs
-from repro.core.addressing import AddressLayer
+from repro.core.addressing import AddressLayer, batched_slots
 from repro.core.graph import MemoryGraph
 from repro.core.protocol import AccessResult, run_access_protocol
 from repro.mpc.memory import SharedCopyStore
-from repro.pgl.matrix import Mat, pgl2_mul, vcanon, vmul
+from repro.pgl.matrix import Mat, pgl2_mul
 
 __all__ = ["EnumeratedAddressing", "PPScheme"]
 
@@ -101,6 +101,22 @@ class EnumeratedAddressing:
             u = self.graph.modules.index_of(mat)
             out.append((u, self.slot_of(A, u)))
         return out
+
+    def vslots(
+        self,
+        mats: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        modules: np.ndarray,
+    ) -> np.ndarray:
+        """Batched Lemma-4 slots (same kernel as the real layer)."""
+        return batched_slots(self.graph, mats, modules)
+
+    def vlocate(
+        self, indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`locate`: ``(modules, slots)`` arrays."""
+        mats = self.vunrank(indices)
+        modules = self.graph.vgamma_variables(mats)
+        return modules, self.vslots(mats, modules)
 
 
 class PPScheme:
@@ -207,46 +223,9 @@ class PPScheme:
         mats: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
         modules: np.ndarray,
     ) -> np.ndarray:
-        """Vectorized Lemma-4 slot computation.
-
-        For each (variable matrix A, module u): the slot is the unique k
-        with ``B_u (1, p_k; 0, 1) H0 == A H0``; scan the |H0| = q^3 - q
-        right translates of ``B_u^{-1} A`` for the shape ``(1, p; 0, 1)``
-        with ``p in P_gamma``.
-        """
-        F = self.graph.F
-        graph = self.graph
-        V, copies = modules.shape
-        qn1 = F.order + 1
-        s = modules // qn1
-        t = modules % qn1 - 1
-        gs = F.vexp(s.reshape(-1))
-        tflat = t.reshape(-1)
-        diag = tflat < 0
-        # B_u: (gs, 0; 0, 1) when diag else (t, gs; 1, 0)
-        Ba = np.where(diag, gs, tflat)
-        Bb = np.where(diag, np.int64(0), gs)
-        Bc = np.where(diag, np.int64(0), np.int64(1))
-        Bd = np.where(diag, np.int64(1), np.int64(0))
-        # projective inverse = adjugate (char 2): (d, b; c, a)
-        Ia, Ib, Ic, Id = Bd, Bb, Bc, Ba
-        # broadcast A over its copies
-        Aa = np.repeat(mats[0], copies)
-        Ab = np.repeat(mats[1], copies)
-        Ac = np.repeat(mats[2], copies)
-        Ad = np.repeat(mats[3], copies)
-        Ca, Cb, Cc, Cd = vmul(F, (Ia, Ib, Ic, Id), (Aa, Ab, Ac, Ad))
-        slot = np.full(V * copies, -1, dtype=np.int64)
-        for h in graph.H0.elements():
-            Ta, Tb, Tc, Td = vcanon(
-                F, vmul(F, (Ca, Cb, Cc, Cd), tuple(np.int64(x) for x in h))
-            )
-            pidx = graph.p_gamma_inverse[Tb]
-            mask = (Tc == 0) & (Td == 1) & (Ta == 1) & (pidx >= 0)
-            slot = np.where(mask, pidx, slot)
-        if np.any(slot < 0):
-            raise AssertionError("vectorized slot computation failed")
-        return slot.reshape(V, copies)
+        """Vectorized Lemma-4 slot computation (delegates to the
+        addressing layer's shared batched coset lookup)."""
+        return self.addressing.vslots(mats, modules)
 
     # -- storage -----------------------------------------------------------
 
@@ -272,6 +251,7 @@ class PPScheme:
         allow_partial: bool = False,
         grey_modules: np.ndarray | None = None,
         retry_limit: int | None = None,
+        engine: str | None = None,
     ) -> AccessResult:
         """Run the Section-3 protocol for a batch of distinct variables.
 
@@ -279,7 +259,9 @@ class PPScheme:
         physical slots through to the timestamped cells.
         ``failed_modules``/``grey_modules``/``retry_limit`` inject
         module faults and bound the degraded-mode retries (see
-        :func:`~repro.core.protocol.run_access_protocol`).
+        :func:`~repro.core.protocol.run_access_protocol`).  ``engine``
+        selects the batch executor ('vector' | 'scalar', see
+        :mod:`repro.core.engine`).
         """
         indices = np.asarray(indices, dtype=np.int64)
         if np.unique(indices).size != indices.size:
@@ -312,6 +294,7 @@ class PPScheme:
             grey_modules=grey_modules,
             retry_limit=retry_limit,
             var_ids=indices,
+            engine=engine,
         )
 
     def write(

@@ -69,6 +69,9 @@ class StaleMajorityAttack:
     failed_modules: np.ndarray | None = field(default=None)
     #: stale copies per victim applied by :meth:`go_stale`
     stale_k: int = 0
+    #: protocol engine for every access the attack issues
+    #: (None = the default; see :mod:`repro.core.engine`)
+    engine: str | None = None
 
     def seed_history(self) -> None:
         """Write old values at round 1 and fresh values at round 2.
@@ -78,10 +81,12 @@ class StaleMajorityAttack:
         below deterministic without changing the semantics.
         """
         self.scheme.write(
-            self.idx, values=self.old_values, store=self.store, time=1
+            self.idx, values=self.old_values, store=self.store, time=1,
+            engine=self.engine,
         )
         self.scheme.write(
-            self.idx, values=self.fresh_values, store=self.store, time=2
+            self.idx, values=self.fresh_values, store=self.store, time=2,
+            engine=self.engine,
         )
         self.store.write(
             self.modules,
@@ -134,13 +139,14 @@ class StaleMajorityAttack:
         return self.failed_modules
 
     def _fault_kwargs(self) -> dict:
-        if self.failed_modules is None or self.failed_modules.size == 0:
-            return {}
-        return {
-            "failed_modules": self.failed_modules,
-            "allow_partial": True,
-            "retry_limit": self.retry_limit,
-        }
+        kw: dict = {"engine": self.engine}
+        if self.failed_modules is not None and self.failed_modules.size:
+            kw.update(
+                failed_modules=self.failed_modules,
+                allow_partial=True,
+                retry_limit=self.retry_limit,
+            )
+        return kw
 
     def read(self, time: int = 3) -> "AccessResult":
         """One read batch of every attacked variable at ``time``."""
@@ -180,7 +186,10 @@ class StaleMajorityAttack:
 
 
 def build_stale_majority(
-    seed: int = 0, n_victims: int = 3, scheme: "MemoryScheme | None" = None
+    seed: int = 0,
+    n_victims: int = 3,
+    scheme: "MemoryScheme | None" = None,
+    engine: str | None = None,
 ) -> StaleMajorityAttack:
     """Construct the attack on a fresh scheme + store.
 
@@ -210,4 +219,5 @@ def build_stale_majority(
         store=scheme.make_store(),
         retry_limit=64 * (count + ctx.copies),
         seed=seed,
+        engine=engine,
     )

@@ -294,6 +294,34 @@ class GF2m:
         out = self._exp[np.where(la < 0, 0, (la * e) % self.group_order)]
         return np.where(a == 0, 0, out)
 
+    def vpowv(self, a: np.ndarray, e: np.ndarray) -> np.ndarray:
+        """Elementwise ``a**e`` with *per-element* integer exponents.
+
+        Broadcasts ``a`` against ``e``; negative exponents are allowed
+        for nonzero bases (raises ZeroDivisionError on ``0**negative``,
+        matching scalar :meth:`pow`).
+        """
+        a = np.asarray(a, dtype=np.int64)
+        e = np.asarray(e, dtype=np.int64)
+        a, e = np.broadcast_arrays(a, e)
+        if _OP_SINK is not None:
+            _OP_SINK.mul += int(a.size)
+        zero = a == 0
+        if np.any(zero & (e < 0)):
+            raise ZeroDivisionError("0 to a negative power in vectorized pow")
+        la = self._log[a]
+        out = self._exp[np.where(la < 0, 0, (la * e) % self.group_order)]
+        out = np.where(zero, 0, out)
+        return np.where(zero & (e == 0), 1, out)
+
+    def vsqrt(self, a: np.ndarray) -> np.ndarray:
+        """Elementwise square root (unique in char 2): ``a^(2^(m-1))``."""
+        return self.vpow(a, 1 << (self.m - 1))
+
+    def vfrobenius(self, a: np.ndarray, k: int = 1) -> np.ndarray:
+        """Elementwise Frobenius power ``a^(2^k)``."""
+        return self.vpow(a, 1 << k)
+
     def vlog(self, a: np.ndarray) -> np.ndarray:
         """Elementwise discrete log; raises if any element is 0."""
         a = np.asarray(a, dtype=np.int64)

@@ -15,7 +15,7 @@ checkers.
 |----|------|-------|---------------------|
 | D1 | ``set-iteration`` | core, mpc, schemes, pgl, gf, kvstore | set iteration order is arbitrary; deterministic zones sort before iterating (protocol schedules and coset enumerations must replay bit-identically) |
 | D2 | ``unseeded-randomness`` | all (workloads/faults: module level only) | entropy enters only through explicit seeds; no wall-clock reads into simulation state |
-| D3 | ``float-arithmetic`` | gf, pgl | field/coset arithmetic stays in exact integers -- no float literals, ``float()``, or true division |
+| D3 | ``float-arithmetic`` | gf, pgl, core/engine.py | field/coset arithmetic and the batch-engine round loops stay in exact integers -- no float literals, ``float()``, or true division |
 | D4 | ``unguarded-obs`` | core, mpc, schemes, pgl, gf, kvstore | instrumentation emission sits behind the single ``obs.enabled()`` guard (the <5% overhead budget) |
 | D5 | ``mutable-shared-state`` | all | no mutable default args; no module-level mutable accumulators coupling independent runs |
 | D6 | ``exception-hygiene`` | core, mpc, kvstore, schemes (+global swallow check) | no bare/broad excepts on protocol paths; ``QuorumLostError`` is never swallowed |
@@ -49,6 +49,7 @@ from __future__ import annotations
 from repro.lint.baseline import Baseline, BaselineEntry
 from repro.lint.config import (
     DETERMINISTIC_ZONES,
+    ENGINE_ARITHMETIC_ZONES,
     FIELD_ARITHMETIC_ZONES,
     PROTOCOL_ZONES,
     RANDOMNESS_ALLOWED_ZONES,
@@ -82,6 +83,7 @@ __all__ = [
     "DETERMINISTIC_ZONES",
     "RANDOMNESS_ALLOWED_ZONES",
     "FIELD_ARITHMETIC_ZONES",
+    "ENGINE_ARITHMETIC_ZONES",
     "PROTOCOL_ZONES",
 ]
 

@@ -20,6 +20,7 @@ __all__ = [
     "DETERMINISTIC_ZONES",
     "RANDOMNESS_ALLOWED_ZONES",
     "FIELD_ARITHMETIC_ZONES",
+    "ENGINE_ARITHMETIC_ZONES",
     "PROTOCOL_ZONES",
     "LintConfig",
     "module_relpath",
@@ -50,6 +51,16 @@ RANDOMNESS_ALLOWED_ZONES: tuple[str, ...] = (
 FIELD_ARITHMETIC_ZONES: tuple[str, ...] = (
     "repro/gf",
     "repro/pgl",
+)
+
+#: Integer-exact engine modules in core/ (D3 as well): the round-loop
+#: executors work on int64 module ids, packed (stamp, value) words, and
+#: iteration counters -- a float literal or true division there would
+#: corrupt packed words above 2^53 exactly like in field code.  Scoped
+#: to the engine files, not all of ``repro/core``: bounds/verification
+#: legitimately use float math for the N^{1/3} envelope shapes.
+ENGINE_ARITHMETIC_ZONES: tuple[str, ...] = (
+    "repro/core/engine.py",
 )
 
 #: Protocol and storage paths where a swallowed exception can convert a

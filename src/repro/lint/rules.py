@@ -23,6 +23,7 @@ from typing import Iterator
 
 from repro.lint.config import (
     DETERMINISTIC_ZONES,
+    ENGINE_ARITHMETIC_ZONES,
     FIELD_ARITHMETIC_ZONES,
     PROTOCOL_ZONES,
     RANDOMNESS_ALLOWED_ZONES,
@@ -422,7 +423,7 @@ class FloatArithmeticRule(Rule):
 
     id = "D3"
     name = "float-arithmetic"
-    zones = FIELD_ARITHMETIC_ZONES
+    zones = FIELD_ARITHMETIC_ZONES + ENGINE_ARITHMETIC_ZONES
     rationale = (
         "field/coset arithmetic must stay in exact integers; floats lose "
         "exactness above 2^53"

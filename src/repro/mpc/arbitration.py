@@ -5,6 +5,15 @@ is served.  The paper's analysis is policy-independent (it only uses
 "the number of copies accessed equals the number of modules receiving
 requests"), but the simulator lets experiments check that measured
 iteration counts are robust across policies.
+
+Every policy reduces to a *priority assignment*: given ``k`` pending
+requests it produces ``k`` distinct integer priorities, and each module
+serves its lowest-priority request.  :meth:`priorities` exposes that
+assignment directly so the scalar reference engine
+(:mod:`repro.core.engine`) and the vectorized machine path consume the
+identical decision sequence -- including the identical RNG stream for
+the random policy -- which is what makes scalar-vs-vector differential
+runs winner-for-winner comparable.
 """
 
 from __future__ import annotations
@@ -25,6 +34,11 @@ class Arbiter(Protocol):
         the winning requests -- exactly one per distinct module."""
         ...
 
+    def priorities(self, k: int) -> np.ndarray:
+        """``k`` distinct priorities for ``k`` pending requests (lower
+        wins); advances any policy state exactly as one step does."""
+        ...
+
 
 def _first_of_each_module(order: np.ndarray, module_ids: np.ndarray) -> np.ndarray:
     """Winners = the first request of each module along ``order``."""
@@ -38,6 +52,10 @@ def _first_of_each_module(order: np.ndarray, module_ids: np.ndarray) -> np.ndarr
 class LowestIdArbiter:
     """Deterministic: the lowest-index request wins each module."""
 
+    def priorities(self, k: int) -> np.ndarray:
+        """Priority == request position (identity)."""
+        return np.arange(k, dtype=np.int64)
+
     def __call__(self, module_ids: np.ndarray) -> np.ndarray:
         order = np.argsort(module_ids, kind="stable")
         return _first_of_each_module(order, module_ids)
@@ -49,8 +67,13 @@ class RandomArbiter:
     def __init__(self, seed: int = 0):
         self.rng = np.random.default_rng(seed)
 
+    def priorities(self, k: int) -> np.ndarray:
+        """One permutation draw per step -- the same stream the
+        vectorized call consumes."""
+        return self.rng.permutation(k)
+
     def __call__(self, module_ids: np.ndarray) -> np.ndarray:
-        prio = self.rng.permutation(module_ids.shape[0])
+        prio = self.priorities(module_ids.shape[0])
         order = np.lexsort((prio, module_ids))
         return _first_of_each_module(order, module_ids)
 
@@ -62,12 +85,17 @@ class RotatingArbiter:
     def __init__(self):
         self.offset = 0
 
+    def priorities(self, k: int) -> np.ndarray:
+        """Rotated identity; advances the shared offset by one step."""
+        prio = (np.arange(k) + self.offset) % k
+        self.offset += 1
+        return prio
+
     def __call__(self, module_ids: np.ndarray) -> np.ndarray:
         k = module_ids.shape[0]
         if k == 0:
             return np.empty(0, dtype=np.int64)
-        prio = (np.arange(k) + self.offset) % k
-        self.offset += 1
+        prio = self.priorities(k)
         order = np.lexsort((prio, module_ids))
         return _first_of_each_module(order, module_ids)
 

@@ -113,6 +113,64 @@ class MPC:
             _obs.on_mpc_step(int(module_ids.size), int(winners.size), congestion)
         return winners
 
+    def step_scalar(
+        self,
+        module_ids: "np.ndarray | list[int]",
+        blocked: "np.ndarray | list[bool] | None" = None,
+    ) -> list[int]:
+        """One synchronous step, executed one request at a time.
+
+        The scalar reference path of the engine switch
+        (:mod:`repro.core.engine`): per-module winner selection happens
+        in a plain Python dict scan instead of a sort, driven by the
+        *same* arbitration priorities (:meth:`Arbiter.priorities`, same
+        RNG stream for the random policy) and folding the same numbers
+        into :attr:`stats`, so a scalar run is step-for-step comparable
+        with :meth:`step`.  Winners are returned sorted by module id --
+        the order the vectorized sort produces.
+        """
+        ids = [int(m) for m in module_ids]
+        k = len(ids)
+        if k == 0:
+            # An idle step still advances time.
+            self.stats.record_step(0, 0, 0)
+            if _obs.enabled():
+                _obs.on_mpc_step(0, 0, 0)
+            return []
+        counts: dict[int, int] = {}
+        for m in ids:
+            if m < 0 or m >= self.n_modules:
+                raise ValueError("request addresses a nonexistent module")
+            counts[m] = counts.get(m, 0) + 1
+        congestion = max(counts.values())
+        if blocked is None:
+            open_pos = list(range(k))
+        else:
+            if len(blocked) != self.n_modules:
+                raise ValueError(
+                    f"blocked mask must have shape ({self.n_modules},)"
+                )
+            open_pos = [p for p in range(k) if not blocked[ids[p]]]
+            if not open_pos:
+                # every addressed module is silent: an empty step
+                self.stats.record_step(k, 0, congestion)
+                if _obs.enabled():
+                    _obs.on_mpc_step(k, 0, congestion)
+                return []
+        prio = self.arbiter.priorities(len(open_pos))
+        best: dict[int, tuple[int, int]] = {}
+        for rank, p in enumerate(open_pos):
+            m = ids[p]
+            pr = int(prio[rank])
+            cur = best.get(m)
+            if cur is None or pr < cur[0]:
+                best[m] = (pr, p)
+        winners = [best[m][1] for m in sorted(best)]
+        self.stats.record_step(k, len(winners), congestion)
+        if _obs.enabled():
+            _obs.on_mpc_step(k, len(winners), congestion)
+        return winners
+
     def reset(self) -> None:
         """Clear statistics (keeps the arbitration policy object)."""
         keep = self.stats.keep_history

@@ -523,40 +523,76 @@ def render_report(trajectory: Trajectory, window: int = 5) -> str:
     return "\n".join(lines) + "\n"
 
 
-def run_quick_suite(recorder: BenchRecorder, repeats: int = 3) -> None:
+def run_quick_suite(
+    recorder: BenchRecorder, repeats: int = 3, engine: str = "vector"
+) -> None:
     """The CI quick suite: an E6-style protocol sweep plus the kernel
     microbenchmarks at small sizes -- a few seconds of wall time that
-    still covers every hot path the full benchmarks exercise."""
+    still covers every hot path the full benchmarks exercise.
+
+    ``engine`` selects the protocol executor for the protocol sections
+    (:mod:`repro.core.engine`): ``'vector'`` (default, the gated
+    sections), ``'scalar'`` (oracle sections, suffixed ``_scalar`` so
+    they trend separately), or ``'both'``, which also records the
+    ``quick.engine_speedup_n5`` scalar (scalar / vector median).  The
+    scalar engine only runs the small instances -- it exists to be
+    differentially tested against, not to be raced at full load.
+    """
     import numpy as np
 
     from repro.core.scheme import PPScheme
     from repro.gf.gf2m import GF2m
     from repro.mpc.arbitration import LowestIdArbiter
 
+    if engine not in ("vector", "scalar", "both"):
+        raise ValueError(
+            f"engine must be 'vector', 'scalar' or 'both', got {engine!r}"
+        )
+    engines = ("vector", "scalar") if engine == "both" else (engine,)
+
     recorder.measure(
         "quick.scheme_build_n7", lambda: PPScheme(2, 7), repeats=repeats
     )
 
     # E6-style sweep: full load across n, partial loads on n=7
+    medians: dict[tuple[str, int], float] = {}
     for n in (3, 5, 7):
         s = PPScheme(2, n)
         idx = s.random_request_set(min(s.N, s.M), seed=0)
-        recorder.measure(
-            f"quick.protocol_full_n{n}",
-            lambda s=s, idx=idx: s.access(idx, op="count"),
-            repeats=repeats,
-        )
+        for eng in engines:
+            if eng == "scalar" and n >= 7:
+                continue  # pure-python loop; full n>=7 load is minutes
+            suffix = "" if eng == "vector" else "_scalar"
+            summ = recorder.measure(
+                f"quick.protocol_full_n{n}{suffix}",
+                lambda s=s, idx=idx, eng=eng: s.access(
+                    idx, op="count", engine=eng
+                ),
+                repeats=repeats,
+            )
+            medians[(eng, n)] = summ["median"]
         res = s.access(idx, op="count")
         recorder.scalar(f"quick.phi_full_n{n}", res.max_phase_iterations)
         recorder.scalar(f"quick.iters_full_n{n}", res.total_iterations)
+    if ("vector", 5) in medians and ("scalar", 5) in medians:
+        recorder.scalar(
+            "quick.engine_speedup_n5",
+            medians[("scalar", 5)] / medians[("vector", 5)],
+        )
     s7 = PPScheme(2, 7)
     for n_prime in (256, 4096):
         idx = s7.random_request_set(n_prime, seed=1)
-        recorder.measure(
-            f"quick.protocol_n7_{n_prime}",
-            lambda idx=idx: s7.access(idx, op="count"),
-            repeats=repeats,
-        )
+        for eng in engines:
+            if eng == "scalar" and n_prime > 256:
+                continue
+            suffix = "" if eng == "vector" else "_scalar"
+            recorder.measure(
+                f"quick.protocol_n7_{n_prime}{suffix}",
+                lambda idx=idx, eng=eng: s7.access(
+                    idx, op="count", engine=eng
+                ),
+                repeats=repeats,
+            )
 
     # kernel microbenchmarks, small sizes
     rng = np.random.default_rng(0)

@@ -24,29 +24,35 @@ def profile_access(
     sort: str = "cumulative",
     limit: int = 15,
     stream=None,
+    engine: str | None = None,
 ) -> pstats.Stats:
     """Profile one ``(q=2, n)`` count access of up to ``count`` requests.
 
     Prints ``limit`` entries sorted by ``sort`` ('cumulative' or
     'tottime') to ``stream`` (default stdout) and returns the
-    :class:`pstats.Stats` for further inspection.
+    :class:`pstats.Stats` for further inspection.  ``engine`` selects
+    the protocol executor (:mod:`repro.core.engine`) -- profiling the
+    scalar oracle shows where a per-processor implementation burns its
+    time, which is exactly what the vector path amortizes away.
     """
     if sort not in SORT_KEYS:
         raise ValueError(f"sort must be one of {SORT_KEYS}, got {sort!r}")
+    from repro.core.engine import resolve_engine
     from repro.core.scheme import PPScheme
 
     stream = stream or sys.stdout
+    eng = resolve_engine(engine)
     scheme = PPScheme(2, n)
     count = min(count, scheme.N, scheme.M)
     idx = scheme.random_request_set(count, seed=0)
 
     prof = cProfile.Profile()
     prof.enable()
-    res = scheme.access(idx, op="count")
+    res = scheme.access(idx, op="count", engine=eng)
     prof.disable()
 
     print(
-        f"N = {scheme.N}, requests = {count}, "
+        f"N = {scheme.N}, requests = {count}, engine = {eng}, "
         f"Phi = {res.max_phase_iterations}",
         file=stream,
     )

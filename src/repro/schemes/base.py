@@ -120,6 +120,7 @@ class MemoryScheme(ABC):
         allow_partial: bool = False,
         grey_modules: np.ndarray | None = None,
         retry_limit: int | None = None,
+        engine: str | None = None,
     ) -> AccessResult:
         """Run the protocol engine for a batch of distinct variables.
 
@@ -128,6 +129,8 @@ class MemoryScheme(ABC):
         kwargs (``failed_modules``, ``grey_modules``, ``retry_limit``,
         ``allow_partial``) inject module faults identically for every
         scheme -- see :func:`~repro.core.protocol.run_access_protocol`.
+        ``engine`` selects scalar-oracle or vectorized execution
+        (:mod:`repro.core.engine`), identically for every scheme.
         """
         indices = np.asarray(indices, dtype=np.int64)
         if np.unique(indices).size != indices.size:
@@ -161,6 +164,7 @@ class MemoryScheme(ABC):
             grey_modules=grey_modules,
             retry_limit=retry_limit,
             var_ids=indices,
+            engine=engine,
         )
 
     def read(

@@ -27,6 +27,8 @@ def main(argv: list[str] | None = None) -> int:
                    default="cumulative", help="pstats sort key")
     p.add_argument("--limit", type=int, default=15,
                    help="stats entries to print")
+    p.add_argument("--engine", choices=["vector", "scalar"],
+                   default="vector", help="protocol engine to profile")
     args = p.parse_args(argv)
 
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -38,7 +40,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     profile_access(n=args.n, count=args.requests, sort=args.sort,
-                   limit=args.limit)
+                   limit=args.limit, engine=args.engine)
     return 0
 
 
