@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples docs perf perf-check coverage faults conform watch explain lint typecheck all clean
+.PHONY: install test bench examples docs perf perf-check coverage faults conform watch explain lint typecheck serve soak all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -57,6 +57,18 @@ watch:
 
 explain:
 	$(PYTHON) -m repro explain --check
+
+serve:
+	$(PYTHON) -m repro serve --clients 200 --ops-per-client 4 --seed 0
+
+soak:
+	$(PYTHON) -m repro load --clients 100000 --ops-per-client 2 \
+		--keyspace 4096 --mix zipf --shards 4 \
+		--round-capacity 8192 --max-pending 32768 --oracle
+	$(PYTHON) -m repro load --clients 20000 --ops-per-client 4 \
+		--keyspace 2048 --mix hotkey --fault stale \
+		--get-fraction 0.6 --delete-fraction 0 \
+		--round-capacity 4096 --max-pending 16384
 
 record:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

@@ -43,7 +43,19 @@ Subcommands
               committed ``.lint-baseline.json`` (non-zero exit on any
               new finding or stale baseline entry); ``--format
               json|md`` for machine/report output, ``--list-rules``
-              for the rule table.
+              for the rule table;
+``serve``     served mode (:mod:`repro.service`): run the asyncio KV
+              front end with a fleet of concurrent client-session
+              coroutines on the deterministic virtual-clock loop,
+              live watchdog attached; prints tail latency and health
+              (non-zero exit on conformance violations or drops);
+``load``      closed-loop load generator (:mod:`repro.service.loadgen`):
+              drive millions of simulated clients against the sharded
+              service core in one closed loop, with seeded key mixes
+              (``uniform``/``zipf``/``hotkey``), optional fault
+              injection (``--fault crash|stale``), the degraded-mode
+              admissibility oracle, and ``BENCH_*.json`` tail-latency
+              output via ``--bench-out``.
 
 Examples::
 
@@ -65,6 +77,9 @@ Examples::
     python -m repro conform report
     python -m repro watch fuzz --ops 100000 --scheme pp2 --state-budget 200000
     python -m repro watch attack --seed 0
+    python -m repro serve --clients 200 --ops-per-client 4 --seed 0
+    python -m repro load --clients 1000000 --mix zipf --bench-out .
+    python -m repro load --clients 100000 --fault stale --oracle
 """
 
 from __future__ import annotations
@@ -359,6 +374,79 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--level", choices=["quick", "standard", "full"],
                     default="quick")
     sp.add_argument("--seed", type=int, default=0)
+
+    def add_service(sp):
+        sp.add_argument("--shards", type=int, default=2,
+                        help="worker shards (independent schemes)")
+        add_qn(sp)
+        sp.add_argument("--round-capacity", type=int, default=1024,
+                        help="requests admitted per PRAM round")
+        sp.add_argument("--max-pending", type=int, default=4096,
+                        help="admission queue depth before backpressure")
+        sp.add_argument("--engine", choices=["vector", "scalar"],
+                        default="vector", help="protocol engine")
+        sp.add_argument("--seed", type=int, default=0)
+
+    sp = sub.add_parser(
+        "serve",
+        help="run the asyncio KV service with concurrent client "
+        "sessions on the deterministic virtual-clock loop",
+    )
+    add_service(sp)
+    sp.add_argument("--clients", type=int, default=100,
+                    help="concurrent session coroutines")
+    sp.add_argument("--ops-per-client", type=int, default=4,
+                    help="requests each session issues")
+    sp.add_argument("--keyspace", type=int, default=1024,
+                    help="distinct keys the fleet draws from")
+    sp.add_argument("--mix", choices=["uniform", "zipf", "hotkey"],
+                    default="uniform", help="key popularity mix")
+    sp.add_argument("--pipeline-depth", type=int, default=1,
+                    help="requests a session may overlap across rounds")
+    sp.add_argument("--jitter", type=float, default=0.0,
+                    help="seeded virtual-time jitter between a "
+                    "session's requests (0 = lockstep rounds; > 0 "
+                    "spreads arrivals across rounds)")
+
+    sp = sub.add_parser(
+        "load",
+        help="closed-loop load generator over the sharded service core; "
+        "non-zero exit on health-bar failure",
+    )
+    add_service(sp)
+    sp.add_argument("--clients", type=int, default=100_000,
+                    help="simulated closed-loop clients")
+    sp.add_argument("--ops-per-client", type=int, default=2,
+                    help="requests per client")
+    sp.add_argument("--keyspace", type=int, default=65536,
+                    help="distinct keys the fleet draws from")
+    sp.add_argument("--mix", choices=["uniform", "zipf", "hotkey"],
+                    default="uniform", help="key popularity mix")
+    sp.add_argument("--get-fraction", type=float, default=0.5,
+                    help="fraction of ops that are gets")
+    sp.add_argument("--delete-fraction", type=float, default=0.02,
+                    help="fraction of ops that are deletes")
+    sp.add_argument("--fault", choices=["none", "crash", "stale"],
+                    default="none", help="fault timeline to run under")
+    sp.add_argument("--crash-rate", type=float, default=0.002,
+                    help="per-round module crash probability "
+                    "(--fault crash)")
+    sp.add_argument("--repair-lag", type=int, default=3,
+                    help="rounds a crashed module stays down")
+    sp.add_argument("--attack-round", type=int, default=None,
+                    help="round to mount the stale-majority attack "
+                    "(--fault stale; default: 40%% through the run)")
+    sp.add_argument("--victims", type=int, default=3,
+                    help="keys the stale attack poisons")
+    sp.add_argument("--heal-after", type=int, default=8,
+                    help="rounds after detection before healing")
+    sp.add_argument("--oracle", action="store_true",
+                    help="replay every response through the "
+                    "admissibility oracle (degraded-mode bar)")
+    sp.add_argument("--bench-out", metavar="DIR", default=None,
+                    help="also write a BENCH_*.json run record here")
+    sp.add_argument("--json-out", metavar="FILE", default=None,
+                    help="write the full load report as JSON")
 
     sp = sub.add_parser(
         "lint",
@@ -925,6 +1013,166 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _service_config(args):
+    from repro.service.batcher import ServiceConfig
+
+    return ServiceConfig(
+        n_shards=args.shards,
+        q=args.q,
+        n=args.n,
+        round_capacity=args.round_capacity,
+        max_pending=args.max_pending,
+        pipeline_depth=getattr(args, "pipeline_depth", 1),
+        engine=args.engine,
+        seed=args.seed,
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.errors import RetriableError
+    from repro.service.loadgen import client_values
+    from repro.service.service import KVService
+    from repro.service.sim import Jitter, det_run
+    from repro.workloads.generators import client_keys
+
+    cfg = _service_config(args)
+    keys = client_keys(
+        args.keyspace, args.clients * args.ops_per_client,
+        mix=args.mix, seed=args.seed,
+    ).reshape(args.clients, args.ops_per_client)
+    vals = client_values(
+        np.repeat(np.arange(args.clients), args.ops_per_client),
+        np.tile(np.arange(args.ops_per_client), args.clients),
+        keys.ravel(),
+    ).reshape(args.clients, args.ops_per_client)
+    retries = 0
+
+    async def client(svc: "object", c: int, jitter: Jitter) -> None:
+        nonlocal retries
+        s = svc.session()
+        for i in range(args.ops_per_client):
+            if i:
+                await jitter()
+            while True:
+                try:
+                    if (c + i) % 2:
+                        await s.get(int(keys[c, i]))
+                    else:
+                        await s.put(int(keys[c, i]), int(vals[c, i]))
+                    break
+                except RetriableError:
+                    retries += 1
+                    await jitter()
+
+    async def fleet(jitter: Jitter):
+        loop = asyncio.get_running_loop()
+        async with KVService(cfg, clock=loop.time) as svc:
+            await asyncio.gather(
+                *(client(svc, c, jitter) for c in range(args.clients))
+            )
+            return svc.latency_summary(), svc.stats()
+
+    def fleet_with_scale(jitter: Jitter):
+        jitter.scale = args.jitter
+        return fleet(jitter)
+
+    lat, stats = det_run(fleet_with_scale, seed=args.seed)
+    t = Table(["metric", "value"],
+              title=f"serve: {args.clients} sessions x "
+              f"{args.ops_per_client} ops, {args.shards} shard(s)")
+    t.add_row(["rounds", stats["rounds"]])
+    t.add_row(["completed", stats["completed"]])
+    t.add_row(["lost (retried)", retries])
+    for k in ("p50", "p95", "p99", "max"):
+        if k in lat:
+            t.add_row([f"latency {k} (virtual s)", round(lat[k], 6)])
+    watch = stats.get("watch", {})
+    t.add_row(["watchdog violations", watch.get("violations", "off")])
+    t.add_row(["events dropped", watch.get("events_dropped", "off")])
+    t.print()
+    ok = not watch or (
+        watch["violations"] == 0 and watch["events_dropped"] == 0
+    )
+    print("serve: " + ("clean" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def _cmd_load(args) -> int:
+    from repro.service.loadgen import LoadConfig, run_load
+
+    cfg = LoadConfig(
+        clients=args.clients,
+        ops_per_client=args.ops_per_client,
+        keyspace=args.keyspace,
+        mix=args.mix,
+        get_fraction=args.get_fraction,
+        delete_fraction=args.delete_fraction,
+        seed=args.seed,
+        fault=args.fault,
+        crash_rate=args.crash_rate,
+        repair_lag=args.repair_lag,
+        attack_round=args.attack_round,
+        attack_victims=args.victims,
+        heal_after=args.heal_after,
+        oracle=args.oracle,
+    )
+    rep = run_load(cfg, _service_config(args), log=print)
+    lat = rep.latency
+    t = Table(["metric", "value"],
+              title=f"load: {rep.clients} clients, mix={rep.mix}, "
+              f"fault={rep.fault}")
+    t.add_row(["requests completed", rep.completed])
+    t.add_row(["rounds", rep.rounds])
+    t.add_row(["rounds/sec", round(rep.rounds_per_sec, 1)])
+    t.add_row(["ops/sec", round(rep.ops_per_sec, 1)])
+    for k in ("p50", "p95", "p99", "max"):
+        if k in lat:
+            t.add_row([f"latency {k} (s)", round(lat[k], 6)])
+    t.add_row(["declared lost (retried)", rep.lost])
+    t.add_row(["unfinished clients", rep.unfinished_clients])
+    t.add_row(["watchdog violations", rep.violations])
+    t.add_row(["events dropped", rep.events_dropped])
+    if args.oracle:
+        t.add_row(["oracle checked", rep.oracle_checked])
+        t.add_row(["oracle mismatches", rep.oracle_mismatches])
+    t.print()
+    if rep.detection is not None:
+        d = rep.detection
+        print(
+            f"attack detected mid-run at stream round {d['stream_round']}: "
+            f"{d['kind']} proc={d['proc']} round={d['round']} var={d['var']}"
+        )
+    # the health bar depends on the fault mode: fault-free must be
+    # spotless; crashes allow store-level partial-write violations (the
+    # requests were declared lost) but nothing silently wrong; the
+    # stale attack MUST be flagged mid-run
+    if args.fault == "none":
+        ok = rep.fault_free_clean and rep.unfinished_clients == 0
+    elif args.fault == "crash":
+        ok = rep.unfinished_clients == 0 and rep.events_dropped == 0
+    else:
+        ok = rep.detection is not None and rep.unfinished_clients == 0
+    if args.oracle and rep.fault != "stale":
+        ok = ok and rep.oracle_mismatches == 0
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as fh:
+            json.dump(rep.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"report -> {args.json_out}", file=sys.stderr)
+    if args.bench_out:
+        from repro.obs.perf import BenchRecorder
+
+        rec = BenchRecorder(source="load")
+        rep.record_bench(rec)
+        path = rec.write(args.bench_out)
+        print(f"run record -> {path}", file=sys.stderr)
+    print("load: " + ("healthy" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
 def _cmd_verify(args) -> int:
     from repro.core.verification import verify_instance
 
@@ -948,6 +1196,8 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "verify": _cmd_verify,
     "lint": _cmd_lint,
+    "serve": _cmd_serve,
+    "load": _cmd_load,
 }
 
 

@@ -48,6 +48,17 @@ class ParallelKVStore:
         normally; a probe that loses a quorum raises
         :class:`~repro.faults.report.QuorumLostError` instead of
         mistaking an unreachable cell for an empty one.
+    engine:
+        Default batch executor for every protocol access this store
+        issues (``"vector"``, ``"scalar"``, or None for the
+        ``$REPRO_ENGINE``/vector default).  Each batch operation also
+        accepts a per-call ``engine=`` override.
+    var_base:
+        Offset added to the variable ids this store *emits* (``mem.op``
+        trace events); placement is untouched.  Sharded deployments
+        give each store a disjoint namespace (shard ``i`` uses
+        ``i * scheme.M``) so the conformance checker never aliases two
+        stores' variables.
 
     Notes
     -----
@@ -62,12 +73,16 @@ class ParallelKVStore:
         scheme: MemoryScheme,
         seed: int = 0,
         failed_modules: np.ndarray | None = None,
+        engine: str | None = None,
+        var_base: int = 0,
     ):
         if scheme.M < 8:
             raise ValueError("scheme too small to host a table")
         self.scheme = scheme
         self.capacity = scheme.M // 2
         self.seed = seed
+        self.engine = engine
+        self.var_base = int(var_base)
         self.store = scheme.make_store()
         self._time = 0
         self.size = 0
@@ -107,10 +122,49 @@ class ParallelKVStore:
         """Home slot of each fingerprint."""
         return (fps * np.int64(2654435761)) % self.capacity
 
+    def fingerprints(self, keys: Sequence[int | str]) -> np.ndarray:
+        """Public view of the table's key fingerprints (stable per
+        seed).  Distinct keys with equal fingerprints alias to the same
+        slot; callers building large key sets can screen them out."""
+        return self._fingerprint(keys)
+
+    def locate(
+        self, keys: Sequence[int | str], engine: str | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Probe for each key's table slot: ``(found_mask, slot)``.
+
+        Runs real protocol reads (advances the store clock); the slot
+        of a missing key is -1.  Fault-injection harnesses use this to
+        map keys onto the scheme variables that store them (slot ``s``
+        holds the fingerprint in variable ``2s`` and the value in
+        ``2s + 1``).
+        """
+        fps = self._fingerprint(keys)
+        if np.unique(fps).size != fps.size:
+            raise ValueError("batch contains duplicate keys")
+        found, slot, _ = self._probe(fps, engine=engine)
+        return found, slot
+
     # -- protocol plumbing ------------------------------------------------------
 
     def _tick(self) -> int:
         self._time += 1
+        return self._time
+
+    @property
+    def clock(self) -> int:
+        """The store's logical round clock (after the last batch)."""
+        return self._time
+
+    def sync_clock(self, time: int) -> int:
+        """Advance the logical clock to at least ``time`` (never back).
+
+        Lets several stores share one monotone round order -- the
+        sharded service syncs every shard to the global service clock
+        before each batch so the ``kv.op`` stream stays totally ordered
+        across shards for the streaming checker.
+        """
+        self._time = max(self._time, int(time))
         return self._time
 
     def _fault_kwargs(self) -> dict:
@@ -118,6 +172,10 @@ class ParallelKVStore:
         if self.failed_modules is None:
             return {}
         return {"failed_modules": self.failed_modules, "allow_partial": True}
+
+    def _resolve_engine(self, engine: str | None) -> str | None:
+        """Per-call override > store default > scheme/env default."""
+        return self.engine if engine is None else engine
 
     def _check_quorum(self, op: str, var_ids: np.ndarray, res) -> None:
         """Raise :class:`QuorumLostError` if any table variable of the
@@ -139,21 +197,29 @@ class ParallelKVStore:
                 modules=modules,
             )
 
-    def _read_vars(self, var_ids: np.ndarray) -> np.ndarray:
+    def _read_vars(
+        self, var_ids: np.ndarray, engine: str | None = None
+    ) -> np.ndarray:
         """One batched majority read of (possibly duplicated) variables."""
         uniq, inverse = np.unique(var_ids, return_inverse=True)
         res = self.scheme.read(
-            uniq, store=self.store, time=self._tick(), **self._fault_kwargs()
+            uniq, store=self.store, time=self._tick(),
+            engine=self._resolve_engine(engine), var_base=self.var_base,
+            **self._fault_kwargs(),
         )
         self._check_quorum("read", uniq, res)
         self.mpc_iterations += res.total_iterations
         self.protocol_rounds += 1
         return res.values[inverse]
 
-    def _write_vars(self, var_ids: np.ndarray, values: np.ndarray) -> None:
+    def _write_vars(
+        self, var_ids: np.ndarray, values: np.ndarray,
+        engine: str | None = None,
+    ) -> None:
         """One batched majority write (var_ids must be distinct)."""
         res = self.scheme.write(
             var_ids, values=values, store=self.store, time=self._tick(),
+            engine=self._resolve_engine(engine), var_base=self.var_base,
             **self._fault_kwargs(),
         )
         self._check_quorum("write", var_ids, res)
@@ -162,7 +228,7 @@ class ParallelKVStore:
 
     # -- probing core ------------------------------------------------------------
 
-    def _probe(self, fps: np.ndarray):
+    def _probe(self, fps: np.ndarray, engine: str | None = None):
         """Find each key's slot: returns (found_mask, slot, claim_slot).
 
         ``slot`` is the key's slot when found; ``claim_slot`` is where an
@@ -192,7 +258,7 @@ class ParallelKVStore:
                         _obs.metrics().counter("kvstore.probe_rounds").inc()
                 rounds += 1
                 cur = (home[idx] + offset[idx]) % self.capacity
-                got = self._read_vars(2 * cur)
+                got = self._read_vars(2 * cur, engine=engine)
                 is_empty = got == _EMPTY
                 is_tomb = got == TOMBSTONE
                 is_mine = got == fps[idx]
@@ -239,11 +305,13 @@ class ParallelKVStore:
     # -- public API ------------------------------------------------------------------
 
     def batch_put(
-        self, keys: Sequence[int | str], values: np.ndarray
+        self, keys: Sequence[int | str], values: np.ndarray,
+        engine: str | None = None,
     ) -> dict[str, int]:
         """Insert/update a batch of distinct keys in parallel.
 
         Returns a stats dict (inserted, updated, protocol rounds used).
+        ``engine`` overrides the store default executor for this batch.
         """
         if _obs.enabled():
             self._observe_op("put", len(keys))
@@ -255,7 +323,7 @@ class ParallelKVStore:
         fps = self._fingerprint(keys)
         if np.unique(fps).size != fps.size:
             raise ValueError("batch contains duplicate keys")
-        found, slot, claim = self._probe(fps)
+        found, slot, claim = self._probe(fps, engine=engine)
 
         # resolve claim collisions: several new keys may want one slot --
         # lowest batch index wins, the rest re-probe next round
@@ -275,12 +343,14 @@ class ParallelKVStore:
             # winners claim their slots now (fingerprint + value writes
             # happen together below); losers re-probe against the updated
             # table
-            self._write_vars(2 * slot[winners], fps[winners])
-            self._write_vars(2 * slot[winners] + 1, values[winners])
+            self._write_vars(2 * slot[winners], fps[winners], engine=engine)
+            self._write_vars(
+                2 * slot[winners] + 1, values[winners], engine=engine
+            )
             self.size += winners.size
             to_insert[winners] = False
             if losers.size:
-                f2, s2, c2 = self._probe(fps[losers])
+                f2, s2, c2 = self._probe(fps[losers], engine=engine)
                 # a loser may now find its... it cannot exist; re-claim
                 claim[losers] = c2
                 slot[losers] = np.where(f2, s2, slot[losers])
@@ -289,7 +359,9 @@ class ParallelKVStore:
                     to_insert[newly_found] = False
         updates = found
         if updates.any():
-            self._write_vars(2 * slot[updates] + 1, values[updates])
+            self._write_vars(
+                2 * slot[updates] + 1, values[updates], engine=engine
+            )
         if _obs.enabled():
             self._emit_kv_ops("put", keys, values)
         return {
@@ -298,40 +370,52 @@ class ParallelKVStore:
             "protocol_rounds": self.protocol_rounds,
         }
 
-    def batch_get(self, keys: Sequence[int | str]) -> np.ndarray:
-        """Parallel lookup; returns values, -1 for missing keys."""
+    def batch_get(
+        self, keys: Sequence[int | str], engine: str | None = None
+    ) -> np.ndarray:
+        """Parallel lookup; returns values, -1 for missing keys.
+
+        ``engine`` overrides the store default executor for this batch.
+        """
         if _obs.enabled():
             self._observe_op("get", len(keys))
         fps = self._fingerprint(keys)
         if np.unique(fps).size != fps.size:
             raise ValueError("batch contains duplicate keys")
-        found, slot, _ = self._probe(fps)
+        found, slot, _ = self._probe(fps, engine=engine)
         out = np.full(len(keys), -1, dtype=np.int64)
         if found.any():
-            vals = self._read_vars(2 * slot[found] + 1)
+            vals = self._read_vars(2 * slot[found] + 1, engine=engine)
             out[found] = vals
         if _obs.enabled():
             self._emit_kv_ops("get", keys, out)
         return out
 
-    def batch_delete(self, keys: Sequence[int | str]) -> int:
-        """Parallel delete; returns the number of keys removed."""
+    def batch_delete(
+        self, keys: Sequence[int | str], engine: str | None = None
+    ) -> int:
+        """Parallel delete; returns the number of keys removed.
+
+        ``engine`` overrides the store default executor for this batch.
+        """
         if _obs.enabled():
             self._observe_op("delete", len(keys))
         fps = self._fingerprint(keys)
         if np.unique(fps).size != fps.size:
             raise ValueError("batch contains duplicate keys")
-        found, slot, _ = self._probe(fps)
+        found, slot, _ = self._probe(fps, engine=engine)
         if found.any():
             self._write_vars(
-                2 * slot[found], np.full(int(found.sum()), TOMBSTONE, dtype=np.int64)
+                2 * slot[found],
+                np.full(int(found.sum()), TOMBSTONE, dtype=np.int64),
+                engine=engine,
             )
             self.size -= int(found.sum())
         if _obs.enabled():
             self._emit_kv_ops("delete", keys, found.astype(np.int64))
         return int(found.sum())
 
-    def scan(self) -> tuple[np.ndarray, np.ndarray]:
+    def scan(self, engine: str | None = None) -> tuple[np.ndarray, np.ndarray]:
         """Full-table scan: returns (fingerprints, values) of every
         occupied slot, in slot order.
 
@@ -339,11 +423,11 @@ class ParallelKVStore:
         occupied value cells -- two protocol rounds regardless of size.
         """
         slots = np.arange(self.capacity, dtype=np.int64)
-        fps = self._read_vars(2 * slots)
+        fps = self._read_vars(2 * slots, engine=engine)
         occupied = (fps != _EMPTY) & (fps != TOMBSTONE)
         if not occupied.any():
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-        vals = self._read_vars(2 * slots[occupied] + 1)
+        vals = self._read_vars(2 * slots[occupied] + 1, engine=engine)
         return fps[occupied], vals
 
     def cost_summary(self) -> dict:

@@ -29,7 +29,8 @@ __all__ = [
 
 #: Packages whose outputs must be bit-identical across runs (D1, D4):
 #: the PGL2(q^n) organization, field arithmetic, the MPC, the majority
-#: protocol, and every scheme the differential fuzzer cross-checks.
+#: protocol, every scheme the differential fuzzer cross-checks, and the
+#: service layer (round admission and arbitration must replay exactly).
 DETERMINISTIC_ZONES: tuple[str, ...] = (
     "repro/core",
     "repro/mpc",
@@ -37,6 +38,7 @@ DETERMINISTIC_ZONES: tuple[str, ...] = (
     "repro/pgl",
     "repro/gf",
     "repro/kvstore",
+    "repro/service",
 )
 
 #: Packages allowed to *construct* randomized plans (always from an
@@ -70,6 +72,7 @@ PROTOCOL_ZONES: tuple[str, ...] = (
     "repro/mpc",
     "repro/kvstore",
     "repro/schemes",
+    "repro/service",
 )
 
 

@@ -621,3 +621,27 @@ def run_quick_suite(
         lambda: s7.graph.vgamma_variables(mats),
         repeats=repeats,
     )
+
+    # service closed loop: tail latency + round throughput of the
+    # sharded front end, live watchdog attached (vector engine only --
+    # the scalar oracle is differential-test equipment, not a servable
+    # configuration)
+    if "vector" in engines:
+        from repro.service.batcher import ServiceConfig
+        from repro.service.loadgen import LoadConfig, run_load
+
+        svc = ServiceConfig(
+            n_shards=2, round_capacity=512, max_pending=2048, seed=0
+        )
+        load = LoadConfig(
+            clients=1500, ops_per_client=2, keyspace=512, mix="zipf", seed=0
+        )
+        best_rps = 0.0
+        for _ in range(repeats):
+            rep = run_load(load, svc)
+            recorder.observe("quick.service_latency_p50", rep.latency["p50"])
+            recorder.observe("quick.service_latency_p95", rep.latency["p95"])
+            recorder.observe("quick.service_latency_p99", rep.latency["p99"])
+            recorder.observe("quick.service_run", rep.elapsed)
+            best_rps = max(best_rps, rep.rounds_per_sec)
+        recorder.scalar("quick.service_rounds_per_sec", best_rps)

@@ -121,6 +121,7 @@ class MemoryScheme(ABC):
         grey_modules: np.ndarray | None = None,
         retry_limit: int | None = None,
         engine: str | None = None,
+        var_base: int = 0,
     ) -> AccessResult:
         """Run the protocol engine for a batch of distinct variables.
 
@@ -131,6 +132,11 @@ class MemoryScheme(ABC):
         scheme -- see :func:`~repro.core.protocol.run_access_protocol`.
         ``engine`` selects scalar-oracle or vectorized execution
         (:mod:`repro.core.engine`), identically for every scheme.
+        ``var_base`` offsets the *emitted* variable ids (``mem.op``
+        events) without touching placement -- systems that run several
+        scheme instances side by side (the sharded service) give each a
+        disjoint id namespace so the conformance checker never aliases
+        two shards' variables.
         """
         indices = np.asarray(indices, dtype=np.int64)
         if np.unique(indices).size != indices.size:
@@ -163,7 +169,7 @@ class MemoryScheme(ABC):
             allow_partial=allow_partial,
             grey_modules=grey_modules,
             retry_limit=retry_limit,
-            var_ids=indices,
+            var_ids=indices + var_base if var_base else indices,
             engine=engine,
         )
 

@@ -1,0 +1,58 @@
+"""Served mode: the access protocol as a sharded batched KV service.
+
+The paper's protocol is a batch scheduler; :mod:`repro.service` turns
+it into a service stack with the classic three-layer split:
+
+* **protocol** -- :mod:`repro.core` / :mod:`repro.schemes` execute one
+  deterministic majority-quorum round;
+* **repository** -- :class:`~repro.service.shards.ShardedKV` scales out
+  across independent per-shard organizations behind one key space;
+* **service** -- :class:`~repro.service.batcher.ServiceCore` batches
+  concurrent sessions into PRAM rounds under admission control, with
+  the streaming conformance watchdog wired onto the service event bus.
+
+Front ends: :class:`~repro.service.service.KVService` (asyncio
+sessions) and :func:`~repro.service.loadgen.run_load` (the vectorized
+closed-loop fleet behind ``repro load``).
+"""
+
+from repro.service.batcher import (
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    RoundResult,
+    ServiceConfig,
+    ServiceCore,
+)
+from repro.service.errors import (
+    Backpressure,
+    PipelineFull,
+    RequestLost,
+    RetriableError,
+    ServiceClosed,
+    ServiceError,
+)
+from repro.service.loadgen import LoadConfig, LoadReport, run_load
+from repro.service.service import KVService, Session
+from repro.service.shards import ShardedKV
+
+__all__ = [
+    "OP_GET",
+    "OP_PUT",
+    "OP_DELETE",
+    "ServiceConfig",
+    "ServiceCore",
+    "RoundResult",
+    "ServiceError",
+    "RetriableError",
+    "RequestLost",
+    "Backpressure",
+    "PipelineFull",
+    "ServiceClosed",
+    "ShardedKV",
+    "KVService",
+    "Session",
+    "LoadConfig",
+    "LoadReport",
+    "run_load",
+]

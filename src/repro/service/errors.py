@@ -1,0 +1,68 @@
+"""Service-boundary error taxonomy.
+
+The protocol layer reports degraded state with
+:class:`~repro.faults.report.QuorumLostError` -- a *machine* fact
+(variables lost their read/write majority).  The service boundary maps
+that onto client-visible semantics: every affected request is failed
+with a **retriable** error, never answered from partial state.  A
+client that sees :class:`RequestLost` may safely resubmit the same
+operation (puts are idempotent per the largest-value arbitration rule).
+
+Admission control speaks the same language: a full queue raises
+:class:`Backpressure` (retriable -- try again after a round drains) and
+an over-pipelined session raises :class:`PipelineFull` (a client flow
+bug, not retriable as-is).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "RetriableError",
+    "RequestLost",
+    "Backpressure",
+    "PipelineFull",
+    "ServiceClosed",
+    "STATUS_OK",
+    "STATUS_LOST",
+]
+
+#: per-request completion codes used by the vectorized core
+STATUS_OK = 0
+#: quorum lost under module faults: declared, retriable, never silent
+STATUS_LOST = 1
+
+
+class ServiceError(Exception):
+    """Base class for service-boundary failures."""
+
+    #: True when the client may resubmit the identical request
+    retriable = False
+
+
+class RetriableError(ServiceError):
+    """The request did not take effect and may be resubmitted."""
+
+    retriable = True
+
+
+class RequestLost(RetriableError):
+    """The PRAM round executing this request lost its majority quorum
+    (mapped from :class:`~repro.faults.report.QuorumLostError`)."""
+
+    def __init__(self, message: str, shard: int = -1, keys=()):
+        super().__init__(message)
+        self.shard = int(shard)
+        self.keys = tuple(keys)
+
+
+class Backpressure(RetriableError):
+    """Admission queue at capacity; resubmit after a round drains."""
+
+
+class PipelineFull(ServiceError):
+    """The session already has its full pipeline depth in flight."""
+
+
+class ServiceClosed(ServiceError):
+    """Submitted to a service that has been stopped."""

@@ -1,0 +1,441 @@
+"""Closed-loop load generator: millions of simulated clients.
+
+Per-client coroutines do not scale to 10^6 clients in CPython, and they
+would add nothing: a closed-loop client is a tiny state machine (submit
+-> wait -> next op / retry).  The fleet therefore keeps every client's
+state in numpy columns and drives the SAME :class:`ServiceCore` the
+asyncio front end wraps -- admission control, fairness, sharding, the
+watchdog, and latency accounting are identical; only the transport
+differs.
+
+The loop is strictly closed: a client submits its next request only
+after its previous one completes, and the fleet respects backpressure
+by holding clients in a ready-ring until the admission queue has room.
+Retriable losses (quorum lost under faults) are resubmitted verbatim --
+puts are idempotent under the largest-value rule, so retries are safe.
+
+Fault legs:
+
+* ``crash`` -- per-shard transient module crashes from a seeded
+  :class:`~repro.mpc.faults.FaultSchedule` (exact repair lag), stepped
+  every round.
+* ``stale`` -- the q/2+1 stale-majority attack mounted mid-run on hot
+  live keys (:mod:`repro.service.attack`); the streaming watchdog must
+  flag it, pinned to (proc, round, var), while the run is in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.mpc.faults import FaultSchedule
+from repro.service.attack import StalePoisoning, poison_stale_majority
+from repro.service.batcher import (
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    ServiceConfig,
+    ServiceCore,
+)
+from repro.service.errors import STATUS_LOST
+from repro.service.shards import ShardedKV
+from repro.service.testing import AdmissibleOracle
+from repro.workloads.generators import client_keys
+
+__all__ = [
+    "LoadConfig",
+    "LoadReport",
+    "client_values",
+    "collision_free_keyspace",
+    "run_load",
+]
+
+#: value bound used by generated workloads (fits protocol packing)
+_VALUE_BOUND = 1 << 20
+
+
+def collision_free_keyspace(
+    store: ShardedKV, size: int, start: int = 0
+) -> np.ndarray:
+    """``size`` integer keys whose table fingerprints are unique within
+    each shard.
+
+    The store hashes keys to 31-bit fingerprints, so a ~10^5-key space
+    is birthday-bound to contain a few aliased pairs -- distinct keys
+    the table cannot tell apart (and a batch rejects).  Colliding keys
+    are deterministically remapped to fresh integers until the set is
+    clean; the result depends only on the store seeds and ``start``.
+    """
+    keys = np.arange(start, start + size, dtype=np.int64)
+    next_candidate = start + size
+    for _ in range(64):
+        shard = store.route_ints(keys)
+        bad = np.zeros(size, dtype=bool)
+        for s in range(store.n_shards):
+            m = np.nonzero(shard == s)[0]
+            if not m.size:
+                continue
+            fps = store.shards[s].fingerprints(keys[m].tolist())
+            order = np.argsort(fps, kind="stable")
+            fs = fps[order]
+            dup_sorted = np.r_[False, fs[1:] == fs[:-1]]
+            bad[m[order[dup_sorted]]] = True
+        n_bad = int(bad.sum())
+        if n_bad == 0:
+            return keys
+        keys[bad] = np.arange(
+            next_candidate, next_candidate + n_bad, dtype=np.int64
+        )
+        next_candidate += n_bad
+    raise RuntimeError("could not de-alias keyspace")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One closed-loop run: fleet size, workload mix, fault leg."""
+
+    clients: int = 10_000
+    ops_per_client: int = 2
+    keyspace: int = 4096
+    #: key mix: uniform | zipf | hotkey (adversarial contention)
+    mix: str = "uniform"
+    zipf_s: float = 1.2
+    hot: int = 64
+    hot_mass: float = 0.9
+    get_fraction: float = 0.5
+    delete_fraction: float = 0.02
+    seed: int = 0
+    #: safety stop (None = sized from the request count)
+    max_rounds: int | None = None
+    #: fault leg: none | crash | stale
+    fault: str = "none"
+    crash_rate: float = 0.001
+    repair_lag: int = 3
+    #: round the stale attack mounts (None = ~40% through the run)
+    attack_round: int | None = None
+    attack_victims: int = 3
+    #: rounds the attack stays mounted after detection
+    heal_after: int = 8
+    #: replay completions through the admissible oracle (costs a
+    #: python pass per get; the soak legs keep it on)
+    oracle: bool = False
+    #: progress-callback cadence, in rounds
+    log_every: int = 25
+
+
+@dataclass
+class LoadReport:
+    """Everything one run proved: throughput, tail latency, health."""
+
+    clients: int
+    total_requests: int
+    completed: int
+    retries: int
+    lost: int
+    rounds: int
+    elapsed: float
+    rounds_per_sec: float
+    ops_per_sec: float
+    latency: dict
+    stats: dict
+    mix: str
+    fault: str
+    violations: int
+    events_dropped: int
+    first_violation: dict | None = None
+    detection: dict | None = None
+    oracle_checked: int = 0
+    oracle_mismatches: int = 0
+    unfinished_clients: int = 0
+    report_violations: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready view."""
+        return dict(self.__dict__)
+
+    @property
+    def fault_free_clean(self) -> bool:
+        """Zero violations and zero dropped events (fault-free bar)."""
+        return self.violations == 0 and self.events_dropped == 0
+
+    def record_bench(self, recorder) -> None:
+        """Fold tail latency + throughput into a BENCH recorder.
+
+        Latency percentiles go in as *sections* (wall times, lower is
+        better -- the MAD regression gate applies); throughput figures
+        are headline scalars.
+        """
+        lat = self.latency
+        if lat.get("count"):
+            recorder.observe("load.latency_p50", lat["p50"])
+            recorder.observe("load.latency_p95", lat["p95"])
+            recorder.observe("load.latency_p99", lat["p99"])
+        recorder.scalar("load.clients", self.clients)
+        recorder.scalar("load.requests", self.total_requests)
+        recorder.scalar("load.rounds_per_sec", self.rounds_per_sec)
+        recorder.scalar("load.ops_per_sec", self.ops_per_sec)
+        recorder.scalar("load.retries", self.retries)
+        recorder.scalar("load.violations", self.violations)
+
+
+class _Ring:
+    """Fixed-capacity FIFO ring of ready client ids (numpy-backed)."""
+
+    def __init__(self, capacity: int):
+        self._buf = np.empty(capacity + 1, dtype=np.int64)
+        self._cap = capacity + 1
+        self._head = 0
+        self._tail = 0
+
+    def __len__(self) -> int:
+        return (self._tail - self._head) % self._cap
+
+    def push(self, ids: np.ndarray) -> None:
+        n = int(ids.size)
+        if n == 0:
+            return
+        if len(self) + n >= self._cap:  # pragma: no cover -- sized to fleet
+            raise RuntimeError("ready ring overflow")
+        end = self._tail + n
+        if end <= self._cap:
+            self._buf[self._tail:end] = ids
+        else:
+            k = self._cap - self._tail
+            self._buf[self._tail:] = ids[:k]
+            self._buf[: end % self._cap] = ids[k:]
+        self._tail = end % self._cap
+
+    def pop(self, n: int) -> np.ndarray:
+        n = min(n, len(self))
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        end = self._head + n
+        if end <= self._cap:
+            out = self._buf[self._head:end].copy()
+        else:
+            out = np.concatenate(
+                [self._buf[self._head:], self._buf[: end % self._cap]]
+            )
+        self._head = end % self._cap
+        return out
+
+
+def _build_scripts(cfg: LoadConfig) -> tuple[np.ndarray, np.ndarray]:
+    """Seeded per-(client, op) key indices and op codes."""
+    total = cfg.clients * cfg.ops_per_client
+    key_idx = client_keys(
+        cfg.keyspace, total, mix=cfg.mix, seed=cfg.seed,
+        s=cfg.zipf_s, hot=cfg.hot, hot_mass=cfg.hot_mass,
+    ).reshape(cfg.clients, cfg.ops_per_client)
+    rng = np.random.default_rng(cfg.seed + 1)
+    r = rng.random(total).reshape(cfg.clients, cfg.ops_per_client)
+    ops = np.full((cfg.clients, cfg.ops_per_client), OP_PUT, dtype=np.int64)
+    ops[r < cfg.get_fraction] = OP_GET
+    ops[r >= 1.0 - cfg.delete_fraction] = OP_DELETE
+    return key_idx, ops
+
+
+def client_values(
+    clients: np.ndarray, cursor: np.ndarray, key_idx: np.ndarray
+) -> np.ndarray:
+    """Deterministic per-(client, op) put values -- stable across
+    retries, distinct across writers, in ``[1, 2^20)``."""
+    raw = (
+        key_idx.astype(np.int64) * 2654435761
+        + clients * 40503
+        + cursor.astype(np.int64) * 97
+    )
+    return raw % (_VALUE_BOUND - 1) + 1
+
+
+def run_load(
+    cfg: LoadConfig,
+    service: ServiceConfig | None = None,
+    log: Callable[[str], None] | None = None,
+) -> LoadReport:
+    """Drive one closed-loop run; returns the :class:`LoadReport`."""
+    svc_cfg = service or ServiceConfig()
+    total = cfg.clients * cfg.ops_per_client
+    max_rounds = cfg.max_rounds
+    if max_rounds is None:
+        est = total // max(1, svc_cfg.round_capacity) + 1
+        max_rounds = 4 * est + 200
+    core = ServiceCore(svc_cfg)
+    with core:
+        keyspace = collision_free_keyspace(core.store, cfg.keyspace)
+        key_idx, op_script = _build_scripts(cfg)
+        core.register_sessions(cfg.clients)
+        cursor = np.zeros(cfg.clients, dtype=np.int64)
+        retries = 0
+        ring = _Ring(cfg.clients)
+        ring.push(np.arange(cfg.clients, dtype=np.int64))
+        done = 0
+        put_seen = np.zeros(cfg.keyspace, dtype=bool)
+        oracle = AdmissibleOracle() if cfg.oracle else None
+        attack: StalePoisoning | None = None
+        detection: dict | None = None
+        heal_round: int | None = None
+        attack_round = cfg.attack_round
+        if cfg.fault == "stale" and attack_round is None:
+            attack_round = max(2, (total // max(1, svc_cfg.round_capacity)) * 2 // 5)
+        schedules = None
+        if cfg.fault == "crash":
+            schedules = [
+                FaultSchedule(
+                    core.store.shards[s].scheme.N,
+                    cfg.crash_rate,
+                    repair_lag=cfg.repair_lag,
+                    seed=cfg.seed + 7 * s + 1,
+                )
+                for s in range(svc_cfg.n_shards)
+            ]
+        t0 = core.clock()
+        while done < cfg.clients and core.rounds < max_rounds:
+            # fault timeline: step the crash schedules each round
+            if schedules is not None:
+                for s, sched in enumerate(schedules):
+                    failed = sched.step()
+                    core.store.set_failed_modules(
+                        s, failed if failed.size else None
+                    )
+            # mount the stale attack mid-run, on hot already-written keys
+            if (
+                cfg.fault == "stale"
+                and attack is None
+                and core.rounds >= (attack_round or 0)
+            ):
+                get_freq = np.bincount(
+                    key_idx[op_script == OP_GET], minlength=cfg.keyspace
+                )
+                get_freq[~put_seen] = -1
+                candidates = np.argsort(-get_freq)[: cfg.attack_victims]
+                candidates = candidates[get_freq[candidates] > 0]
+                attack = poison_stale_majority(
+                    core.store, keyspace[candidates], seed=cfg.seed
+                )
+                if log:
+                    log(
+                        f"round {core.rounds}: mounted stale-majority "
+                        f"attack on {attack.victims.size} victim key(s)"
+                    )
+            # detection check + scheduled heal
+            if attack is not None and not attack.healed:
+                wd = core.watchdog
+                if detection is None and wd is not None and wd.violations_seen:
+                    first, at_round = wd.first_violation  # type: ignore[misc]
+                    detection = {
+                        "service_round": core.rounds,
+                        "stream_round": at_round,
+                        "kind": first.kind,
+                        "proc": first.proc,
+                        "round": first.round,
+                        "var": str(first.var),
+                    }
+                    heal_round = core.rounds + cfg.heal_after
+                    if log:
+                        log(
+                            f"round {core.rounds}: watchdog flagged "
+                            f"{first.kind} at (proc={first.proc}, "
+                            f"round={first.round}, var={first.var})"
+                        )
+                if heal_round is not None and core.rounds >= heal_round:
+                    attack.heal(core.store)
+                    if log:
+                        log(f"round {core.rounds}: attack healed")
+            # closed loop: fill the admission queue from the ready ring
+            ids = ring.pop(core.room)
+            if ids.size:
+                cur = cursor[ids]
+                kidx = key_idx[ids, cur]
+                ops_now = op_script[ids, cur]
+                vals = client_values(ids, cur, kidx)
+                accepted = core.submit_batch(
+                    ids, ops_now, keyspace[kidx], vals
+                )
+                if not accepted.all():  # pragma: no cover -- room-checked
+                    ring.push(ids[~accepted])
+            try:
+                res = core.run_round()
+            except RuntimeError as e:
+                if "table full" not in str(e):
+                    raise
+                raise ValueError(
+                    f"store overflowed mid-run (capacity "
+                    f"{core.store.capacity} slots, --keyspace "
+                    f"{cfg.keyspace} distinct keys): add shards "
+                    f"(--shards), grow the scheme (-n), or shrink "
+                    f"--keyspace"
+                ) from e
+            if res is None:
+                break
+            if oracle is not None:
+                oracle.apply_round(res)
+            ok = np.asarray(res.status) != STATUS_LOST
+            sess = np.asarray(res.session)
+            # track which keys have a completed put (attack candidates)
+            fin_puts = ok & (np.asarray(res.op) == OP_PUT)
+            if fin_puts.any():
+                put_seen[key_idx[sess[fin_puts], cursor[sess[fin_puts]]]] = True
+            # lost requests retry verbatim; the rest advance
+            retries += int((~ok).sum())
+            cursor[sess[ok]] += 1
+            finished = cursor[sess] >= cfg.ops_per_client
+            done += int((ok & finished).sum())
+            ring.push(sess[~(ok & finished)])
+            if log and cfg.log_every and core.rounds % cfg.log_every == 0:
+                log(
+                    f"round {core.rounds}: {done}/{cfg.clients} clients "
+                    f"done, {core.pending} pending, "
+                    f"{core.lost} lost, {retries} retries"
+                )
+        elapsed = max(core.clock() - t0, 1e-9)
+        stats = core.stats()
+        wd = core.watchdog
+        first_v = None
+        if wd is not None and wd.first_violation is not None:
+            v, at_round = wd.first_violation
+            first_v = {
+                "kind": v.kind,
+                "proc": v.proc,
+                "round": v.round,
+                "var": str(v.var),
+                "stream_round": at_round,
+            }
+        report = LoadReport(
+            clients=cfg.clients,
+            total_requests=total,
+            completed=core.completed,
+            retries=retries,
+            lost=core.lost,
+            rounds=core.rounds,
+            elapsed=elapsed,
+            rounds_per_sec=core.rounds / elapsed,
+            ops_per_sec=core.completed / elapsed,
+            latency=core.latency_summary(),
+            stats=stats,
+            mix=cfg.mix,
+            fault=cfg.fault,
+            violations=(
+                wd.checker.n_violations if wd is not None else 0
+            ),
+            events_dropped=(
+                wd.subscription.dropped if wd is not None else 0
+            ),
+            first_violation=first_v,
+            detection=detection,
+            oracle_checked=oracle.checked if oracle is not None else 0,
+            oracle_mismatches=(
+                len(oracle.mismatches) if oracle is not None else 0
+            ),
+            unfinished_clients=cfg.clients - done,
+        )
+    # the context exit ran watchdog.finish(); fold in any violations the
+    # final window close surfaced
+    if core.watchdog is not None:
+        report.report_violations = core.watchdog.checker.n_violations
+        report.violations = core.watchdog.checker.n_violations
+        report.events_dropped = core.watchdog.subscription.dropped
+    return report

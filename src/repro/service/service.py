@@ -1,0 +1,190 @@
+"""Asyncio front end over the deterministic service core.
+
+:class:`KVService` owns a single driver task that turns queued
+submissions into PRAM rounds: every request submitted while a round
+executes lands in a later round, which is exactly the paper's batch
+model -- concurrency comes from *batching*, not from interleaving
+store mutations.  Sessions therefore see strictly serializable
+behaviour with no locks anywhere.
+
+The transport is in-process (this is a simulation repo): client
+coroutines hold a :class:`Session` and await ``get``/``put``/
+``delete``.  Each call returns an :class:`asyncio.Future` resolved when
+the request's round completes; with ``pipeline_depth > 1`` a session
+may hold several futures and overlap rounds (``submit`` is the
+non-awaiting surface).  Admission control surfaces as exceptions from
+:mod:`repro.service.errors`; a round that loses its majority quorum
+resolves the affected futures with :class:`RequestLost` -- retriable,
+never silently wrong.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time as _time
+from typing import Callable
+
+from repro.service.batcher import (
+    OP_DELETE,
+    OP_GET,
+    OP_NAMES,
+    OP_PUT,
+    RoundResult,
+    ServiceConfig,
+    ServiceCore,
+)
+
+from repro.service.errors import STATUS_LOST, RequestLost, ServiceClosed
+
+__all__ = ["KVService", "Session"]
+
+
+class Session:
+    """One client's handle: a dense id plus the submit surface."""
+
+    def __init__(self, service: "KVService", session_id: int):
+        self._service = service
+        self.id = int(session_id)
+
+    def submit(self, op: int, key: int, value: int = 0) -> "asyncio.Future[int]":
+        """Enqueue one request; the future resolves at round completion.
+
+        Raises ``PipelineFull`` past the configured pipeline depth and
+        ``Backpressure`` when the admission queue is full.
+        """
+        return self._service._submit(self.id, op, key, value)
+
+    async def get(self, key: int) -> int:
+        """Value of ``key`` (-1 when missing) as of the serving round."""
+        return await self.submit(OP_GET, key)
+
+    async def put(self, key: int, value: int) -> int:
+        """Write ``key``; acks the submitted value (same-round conflicts
+        are resolved by largest-value-then-lowest-session arbitration)."""
+        return await self.submit(OP_PUT, key, value)
+
+    async def delete(self, key: int) -> int:
+        """Delete ``key`` (idempotent ack)."""
+        return await self.submit(OP_DELETE, key)
+
+    def __repr__(self) -> str:
+        return f"Session(id={self.id})"
+
+
+class KVService:
+    """The served mode: sharded batched KV behind concurrent sessions.
+
+    Async context manager::
+
+        async with KVService(ServiceConfig(n_shards=2)) as svc:
+            s = svc.session()
+            await s.put(7, 42)
+            assert await s.get(7) == 42
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        clock: Callable[[], float] = _time.perf_counter,
+    ):
+        self.core = ServiceCore(config, clock=clock)
+        self._futures: dict[int, asyncio.Future] = {}
+        self._work: asyncio.Event | None = None
+        self._task: asyncio.Task | None = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "KVService":
+        """Open the core (bus + watchdog) and start the round driver."""
+        if self._task is not None:
+            return self
+        self.core.open()
+        self._closed = False
+        self._work = asyncio.Event()
+        self._task = asyncio.create_task(self._drive(), name="kv-round-driver")
+        return self
+
+    async def stop(self) -> None:
+        """Drain pending rounds, stop the driver, close the core."""
+        if self._task is None:
+            return
+        self._closed = True
+        assert self._work is not None
+        self._work.set()
+        await self._task
+        self._task = None
+        for fut in self._futures.values():
+            if not fut.done():
+                fut.set_exception(ServiceClosed("service stopped"))
+        self._futures.clear()
+        self.core.close()
+
+    async def __aenter__(self) -> "KVService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- client surface ----------------------------------------------------
+
+    def session(self) -> Session:
+        """Open a new session (dense id, own fairness/pipeline slot)."""
+        sid = int(self.core.register_sessions(1)[0])
+        return Session(self, sid)
+
+    def _submit(self, session: int, op: int, key: int, value: int) -> asyncio.Future:
+        if self._closed or self._task is None:
+            raise ServiceClosed("service is not running")
+        seq = self.core.submit(session, op, int(key), int(value))
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._futures[seq] = fut
+        assert self._work is not None
+        self._work.set()
+        return fut
+
+    # -- driver ------------------------------------------------------------
+
+    async def _drive(self) -> None:
+        assert self._work is not None
+        while not (self._closed and self.core.pending == 0):
+            await self._work.wait()
+            self._work.clear()
+            # one scheduler pass of batching window: submissions already
+            # runnable this tick join the same first round
+            await asyncio.sleep(0)
+            while self.core.pending:
+                res = self.core.run_round()
+                if res is not None:
+                    self._complete(res)
+                # let resolved clients run (and possibly resubmit)
+                await asyncio.sleep(0)
+            if self._closed:
+                break
+
+    def _complete(self, res: RoundResult) -> None:
+        for i in range(res.seq.size):
+            fut = self._futures.pop(int(res.seq[i]), None)
+            if fut is None or fut.done():  # pragma: no cover -- cancelled
+                continue
+            if int(res.status[i]) == STATUS_LOST:
+                fut.set_exception(
+                    RequestLost(
+                        f"{OP_NAMES[int(res.op[i])]} of key "
+                        f"{int(res.key[i])} lost its quorum in round "
+                        f"{res.round_id}",
+                        keys=(int(res.key[i]),),
+                    )
+                )
+            else:
+                fut.set_result(int(res.value[i]))
+
+    # -- passthroughs ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service counters + repository cost + watchdog health."""
+        return self.core.stats()
+
+    def latency_summary(self) -> dict:
+        """p50/p95/p99 over completed requests so far (seconds)."""
+        return self.core.latency_summary()

@@ -17,6 +17,9 @@ __all__ = [
     "hotspot_blocks",
     "phase_shuffled",
     "op_batches",
+    "zipf_weights",
+    "client_keys",
+    "KEY_MIXES",
 ]
 
 
@@ -113,6 +116,61 @@ def op_batches(
         plan.append((kind, idx))
         issued += idx.size
     return plan
+
+
+#: key-mix names accepted by :func:`client_keys` (and the service CLI)
+KEY_MIXES = ("uniform", "zipf", "hotkey")
+
+
+def zipf_weights(n: int, s: float = 1.2) -> np.ndarray:
+    """Normalized bounded-Zipf probabilities over ranks ``0..n-1``:
+    ``P(rank k) ~ 1 / (k + 1)^s``."""
+    if n < 1:
+        raise ValueError("need at least one rank")
+    w = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), float(s))
+    return w / w.sum()
+
+
+def client_keys(
+    keyspace: int,
+    count: int,
+    mix: str = "uniform",
+    seed: int = 0,
+    s: float = 1.2,
+    hot: int = 64,
+    hot_mass: float = 0.9,
+) -> np.ndarray:
+    """``count`` seeded key *indices* in ``[0, keyspace)`` -- duplicates
+    allowed (these model independent clients, not one protocol batch;
+    the service combines same-key requests before the protocol runs).
+
+    Mixes: ``uniform``; ``zipf`` (bounded rank-``s`` power law over a
+    seeded rank permutation, so the popular keys are scattered through
+    the keyspace); ``hotkey`` (the adversarial contention mix: ``hot``
+    seeded keys absorb ``hot_mass`` of the traffic, the rest uniform).
+    """
+    if keyspace < 1:
+        raise ValueError("keyspace must be >= 1")
+    rng = np.random.default_rng(seed)
+    if mix == "uniform":
+        return rng.integers(0, keyspace, size=count, dtype=np.int64)
+    if mix == "zipf":
+        ranks = rng.choice(
+            keyspace, size=count, p=zipf_weights(keyspace, s)
+        ).astype(np.int64)
+        ident = rng.permutation(keyspace).astype(np.int64)
+        return ident[ranks]
+    if mix == "hotkey":
+        hot = min(max(1, hot), keyspace)
+        hot_keys = rng.choice(keyspace, size=hot, replace=False).astype(
+            np.int64
+        )
+        is_hot = rng.random(count) < float(hot_mass)
+        out = rng.integers(0, keyspace, size=count, dtype=np.int64)
+        n_hot = int(is_hot.sum())
+        out[is_hot] = hot_keys[rng.integers(0, hot, size=n_hot)]
+        return out
+    raise ValueError(f"unknown key mix {mix!r}; one of {KEY_MIXES}")
 
 
 def phase_shuffled(indices: np.ndarray, seed: int = 0) -> np.ndarray:

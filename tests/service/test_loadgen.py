@@ -1,0 +1,168 @@
+"""Closed-loop load generator: scripts, keyspaces, reports, and small
+end-to-end runs (fault-free and crash-degraded)."""
+
+import numpy as np
+import pytest
+
+from repro.obs.perf import BenchRecorder
+from repro.service.loadgen import (
+    LoadConfig,
+    client_values,
+    collision_free_keyspace,
+    run_load,
+)
+from repro.service.shards import ShardedKV
+from repro.workloads.generators import client_keys, zipf_weights
+
+#: tiny shard schemes for every in-test service
+_SVC = dict(q=2, n=3)
+
+
+def _svc(**kw):
+    from repro.service.batcher import ServiceConfig
+
+    return ServiceConfig(**{**_SVC, **kw})
+
+
+class TestScripts:
+    def test_zipf_weights_normalized_and_monotone(self):
+        w = zipf_weights(100, s=1.2)
+        assert w.sum() == pytest.approx(1.0)
+        assert (np.diff(w) < 0).all()
+
+    def test_zipf_weights_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+    def test_client_keys_mixes_are_seeded(self):
+        for mix in ("uniform", "zipf", "hotkey"):
+            a = client_keys(256, 2000, mix=mix, seed=3)
+            b = client_keys(256, 2000, mix=mix, seed=3)
+            assert np.array_equal(a, b)
+            assert a.min() >= 0 and a.max() < 256
+
+    def test_client_keys_unknown_mix(self):
+        with pytest.raises(ValueError, match="unknown key mix"):
+            client_keys(16, 10, mix="bogus")
+
+    def test_zipf_concentrates_mass_on_few_keys(self):
+        # rank identities are scattered by a seeded permutation, so
+        # check skew on the sorted histogram: the 16 hottest keys must
+        # outdraw the coldest 512 combined
+        ks = client_keys(1024, 20_000, mix="zipf", seed=0)
+        counts = np.sort(np.bincount(ks, minlength=1024))[::-1]
+        assert counts[:16].sum() > counts[-512:].sum()
+
+    def test_hotkey_mix_concentrates_on_hot_set(self):
+        ks = client_keys(1024, 20_000, mix="hotkey", seed=0,
+                         hot=8, hot_mass=0.9)
+        counts = np.sort(np.bincount(ks, minlength=1024))[::-1]
+        assert counts[:8].sum() > 0.8 * len(ks)
+
+    def test_client_values_bounded_stable_distinct(self):
+        clients = np.asarray([0, 1, 2, 0])
+        cursor = np.asarray([0, 0, 0, 1])
+        key_idx = np.asarray([5, 5, 5, 5])
+        v = client_values(clients, cursor, key_idx)
+        assert np.array_equal(
+            v, client_values(clients, cursor, key_idx)
+        )  # retry-stable
+        assert (v >= 1).all() and (v < 1 << 20).all()
+        assert len(set(v.tolist())) == 4  # distinct writers/cursors
+
+
+class TestKeyspace:
+    def test_collision_free_within_each_shard(self):
+        store = ShardedKV(n_shards=2, q=2, n=3, seed=0)
+        keys = collision_free_keyspace(store, 400)
+        shard = store.route_ints(keys)
+        for s in range(2):
+            mine = keys[shard == s]
+            fps = store.shards[s].fingerprints(mine.tolist())
+            assert len(np.unique(fps)) == mine.size
+
+    def test_deterministic_given_store_seed(self):
+        a = collision_free_keyspace(ShardedKV(2, q=2, n=3, seed=4), 300)
+        b = collision_free_keyspace(ShardedKV(2, q=2, n=3, seed=4), 300)
+        assert np.array_equal(a, b)
+
+
+class TestRunLoad:
+    def test_fault_free_run_is_clean_and_complete(self):
+        cfg = LoadConfig(clients=60, ops_per_client=3, keyspace=128,
+                         mix="zipf", seed=0, oracle=True)
+        rep = run_load(cfg, _svc(round_capacity=32, max_pending=128))
+        assert rep.completed == rep.total_requests == 180
+        assert rep.unfinished_clients == 0
+        assert rep.fault_free_clean
+        assert rep.oracle_mismatches == 0
+        assert rep.oracle_checked > 0
+        assert rep.lost == 0
+        assert rep.latency["count"] == 180
+        assert rep.rounds_per_sec > 0
+
+    def test_same_seed_same_service_trace(self):
+        cfg = LoadConfig(clients=40, ops_per_client=2, keyspace=64, seed=5)
+        a = run_load(cfg, _svc(round_capacity=16))
+        b = run_load(cfg, _svc(round_capacity=16))
+        assert a.rounds == b.rounds
+        assert a.completed == b.completed
+        assert a.retries == b.retries
+
+    def test_crash_run_declares_losses_never_lies(self):
+        cfg = LoadConfig(clients=50, ops_per_client=2, keyspace=96,
+                         seed=1, fault="crash", crash_rate=0.05,
+                         repair_lag=2, oracle=True)
+        rep = run_load(cfg, _svc(round_capacity=16, max_pending=128))
+        assert rep.unfinished_clients == 0
+        # lost requests are retried: each retry completes once more
+        assert rep.completed == rep.total_requests + rep.retries
+        assert rep.lost == rep.retries > 0
+        # degraded answers stay inside the admissible envelope
+        assert rep.oracle_mismatches == 0
+        assert rep.fault == "crash"
+
+    def test_overflowing_keyspace_raises_actionable_error(self):
+        # 256 distinct keys cannot fit 84 slots: the mid-run table-full
+        # condition must surface as a clean ValueError (CLI exit 2),
+        # not a RuntimeError traceback
+        cfg = LoadConfig(clients=400, ops_per_client=3, keyspace=256,
+                         mix="zipf", seed=0, delete_fraction=0.0,
+                         get_fraction=0.2)
+        with pytest.raises(ValueError, match="overflowed mid-run"):
+            run_load(cfg, _svc(round_capacity=128, max_pending=1024))
+
+    def test_max_rounds_cuts_run_and_counts_unfinished(self):
+        cfg = LoadConfig(clients=50, ops_per_client=4, keyspace=64,
+                         seed=0, max_rounds=3)
+        rep = run_load(cfg, _svc(round_capacity=8, max_pending=64))
+        assert rep.rounds == 3
+        assert rep.unfinished_clients > 0
+
+    def test_log_callback_sees_progress(self):
+        lines = []
+        cfg = LoadConfig(clients=30, ops_per_client=2, keyspace=64,
+                         seed=0, log_every=1)
+        run_load(cfg, _svc(round_capacity=8), log=lines.append)
+        assert lines and any("round" in ln for ln in lines)
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def rep(self):
+        cfg = LoadConfig(clients=30, ops_per_client=2, keyspace=64, seed=2)
+        return run_load(cfg, _svc(round_capacity=16))
+
+    def test_to_dict_round_trips_json(self, rep):
+        import json
+
+        d = rep.to_dict()
+        assert json.loads(json.dumps(d))["completed"] == rep.completed
+
+    def test_record_bench_emits_sections_and_scalars(self, rep):
+        rec = BenchRecorder(source="test")
+        rep.record_bench(rec)
+        data = rec.record()
+        assert "load.latency_p95" in data["sections"]
+        assert data["scalars"]["load.rounds_per_sec"] > 0
+        assert data["scalars"]["load.clients"] == 30

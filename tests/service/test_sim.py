@@ -1,0 +1,105 @@
+"""Deterministic event loop: virtual clock, stall detection, jitter."""
+
+import asyncio
+
+import pytest
+
+from repro.service.sim import DeterministicEventLoop, Jitter, det_run
+
+
+class TestVirtualClock:
+    def test_sleep_advances_virtual_time_exactly(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            await asyncio.sleep(1.5)
+            await asyncio.sleep(0.25)
+            return loop.time() - t0
+
+        assert det_run(main()) == pytest.approx(1.75)
+
+    def test_timer_order_is_exact(self):
+        order = []
+
+        async def waiter(tag, delay):
+            await asyncio.sleep(delay)
+            order.append(tag)
+
+        async def main():
+            await asyncio.gather(
+                waiter("c", 0.3), waiter("a", 0.1), waiter("b", 0.2)
+            )
+
+        det_run(main())
+        assert order == ["a", "b", "c"]
+
+    def test_advance_rejects_negative(self):
+        loop = DeterministicEventLoop()
+        try:
+            with pytest.raises(ValueError):
+                loop.advance(-1.0)
+        finally:
+            loop.close()
+
+    def test_stall_raises_instead_of_hanging(self):
+        async def main():
+            await asyncio.get_running_loop().create_future()  # never set
+
+        with pytest.raises(RuntimeError, match="stalled"):
+            det_run(main())
+
+
+class TestJitter:
+    def test_seeded_stream_is_reproducible(self):
+        a = Jitter(seed=3)
+        b = Jitter(seed=3)
+        assert [a.next_delay() for _ in range(5)] == [
+            b.next_delay() for _ in range(5)
+        ]
+
+    def test_distinct_seeds_distinct_schedules(self):
+        a = Jitter(seed=0)
+        b = Jitter(seed=1)
+        assert [a.next_delay() for _ in range(5)] != [
+            b.next_delay() for _ in range(5)
+        ]
+
+    def test_delays_bounded_by_scale(self):
+        j = Jitter(seed=0, scale=1e-2)
+        for _ in range(100):
+            assert 0 <= j.next_delay() < 1e-2
+
+    def test_awaiting_jitter_advances_clock(self):
+        async def main(jitter: Jitter):
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            await jitter()
+            return loop.time() - t0
+
+        delay = Jitter(seed=5).next_delay()
+        assert det_run(main, seed=5) == pytest.approx(delay)
+
+
+class TestDetRun:
+    def test_callable_receives_seeded_jitter(self):
+        def main(jitter):
+            assert isinstance(jitter, Jitter)
+
+            async def go():
+                return jitter.next_delay()
+
+            return go()
+
+        assert det_run(main, seed=9) == Jitter(seed=9).next_delay()
+
+    def test_same_seed_same_result(self):
+        async def noisy(jitter):
+            out = []
+            for _ in range(4):
+                await jitter()
+                out.append(asyncio.get_running_loop().time())
+            return out
+
+        assert det_run(lambda j: noisy(j), seed=2) == det_run(
+            lambda j: noisy(j), seed=2
+        )
