@@ -8,6 +8,7 @@ reports them next to the predicted exponents.
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 import numpy as np
 
@@ -19,7 +20,9 @@ __all__ = [
 ]
 
 
-def fit_power_law(xs, ys) -> tuple[float, float]:
+def fit_power_law(
+    xs: Sequence[float] | np.ndarray, ys: Sequence[float] | np.ndarray
+) -> tuple[float, float]:
     """Least-squares fit of ``y = a * x^alpha``; returns ``(alpha, a)``.
 
     Zero/negative entries are rejected (they have no log), as are
@@ -39,7 +42,9 @@ def fit_power_law(xs, ys) -> tuple[float, float]:
     return float(alpha), float(math.exp(loga))
 
 
-def fit_exponent_pairs(xs, ys) -> list[float]:
+def fit_exponent_pairs(
+    xs: Sequence[float] | np.ndarray, ys: Sequence[float] | np.ndarray
+) -> list[float]:
     """Pairwise log-log slopes between consecutive points -- a quick look
     at whether the exponent has stabilized along the sweep."""
     xs = np.asarray(xs, dtype=float)
@@ -50,7 +55,11 @@ def fit_exponent_pairs(xs, ys) -> list[float]:
     return out
 
 
-def fit_envelope_constant(shapes, measured, slack: float = 1.25) -> float:
+def fit_envelope_constant(
+    shapes: Sequence[float] | np.ndarray,
+    measured: Sequence[float] | np.ndarray,
+    slack: float = 1.25,
+) -> float:
     """Fit the constant ``c`` of an envelope ``measured <= c * shape``.
 
     Given a calibration series of closed-form shape values (e.g.

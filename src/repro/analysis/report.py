@@ -11,7 +11,7 @@ from typing import Iterable, Sequence
 __all__ = ["Table", "format_float", "ascii_histogram", "sparkline"]
 
 
-def format_float(x, digits: int = 3) -> str:
+def format_float(x: float | bool | None, digits: int = 3) -> str:
     """Compact numeric formatting: ints stay ints, floats get ``digits``
     significant decimals, None becomes '-'."""
     if x is None:
@@ -90,7 +90,7 @@ class Table:
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 
 
-def sparkline(values) -> str:
+def sparkline(values: Iterable[float]) -> str:
     """A one-line unicode sparkline of a numeric series (empty-safe)."""
     vals = [float(v) for v in values]
     if not vals:
@@ -106,7 +106,9 @@ def sparkline(values) -> str:
     return "".join(out)
 
 
-def ascii_histogram(values, bins: int = 10, width: int = 40) -> str:
+def ascii_histogram(
+    values: Iterable[float], bins: int = 10, width: int = 40
+) -> str:
     """A multi-line ASCII histogram of a numeric sample.
 
     Each row: ``[lo, hi) count  ####...``; bar lengths normalized to

@@ -109,7 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    def add_qn(sp):
+    def add_qn(sp: argparse.ArgumentParser) -> None:
         sp.add_argument("-q", type=int, default=2, help="copies = q+1 (power of 2)")
         sp.add_argument("-n", type=int, default=5, help="extension degree (>= 3)")
 
@@ -120,7 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_qn(sp)
     sp.add_argument("indices", type=int, nargs="+", help="variable indices")
 
-    def add_batch(sp):
+    def add_batch(sp: argparse.ArgumentParser) -> None:
         add_qn(sp)
         sp.add_argument("--count", type=int, default=1024,
                         help="distinct requests")

@@ -100,9 +100,19 @@ class Baseline:
             ))
         return cls(entries)
 
-    def apply(self, findings: list[Finding]) -> BaselineResult:
+    def apply(
+        self,
+        findings: list[Finding],
+        active_rules: set[str] | None = None,
+    ) -> BaselineResult:
         """Split findings into new vs grandfathered; unmatched entries
-        are stale (the code improved -- delete them)."""
+        are stale (the code improved -- delete them).
+
+        ``active_rules`` names the rules this run actually executed;
+        entries for rules that did *not* run (a ``--select`` subset, or
+        a single ``--tier``) are left untouched instead of being
+        misreported as stale.  None means every rule ran.
+        """
         budget: Counter = Counter()
         for e in self.entries:
             budget[e.fingerprint] += e.count
@@ -116,6 +126,8 @@ class Baseline:
             else:
                 res.new.append(f)
         for e in self.entries:
+            if active_rules is not None and e.rule not in active_rules:
+                continue
             if used.get(e.fingerprint, 0) < e.count:
                 res.stale.append(e)
         return res

@@ -7,6 +7,12 @@ Exit-code contract (relied on by CI and ``make lint``):
 * ``2`` -- usage/configuration error (bad rule id, unreadable
   baseline, unjustified baseline entry).
 
+``--tier`` selects the analysis depth: ``file`` runs the per-file
+rules (D1-D6), ``flow`` runs the interprocedural rules (F1-F4) over a
+whole-program model, ``all`` (the default) runs both.  Baseline
+entries for rules outside the selected tier are ignored, not reported
+stale, so partial runs keep the exit contract honest.
+
 ``--write-baseline`` regenerates the grandfather file from the current
 findings, preserving reasons for fingerprints that already had one;
 brand-new entries get a placeholder the loader *refuses*, so a freshly
@@ -22,7 +28,8 @@ from repro.lint import engine as _engine  # registers nothing by itself
 from repro.lint import rules as _rules  # noqa: F401  (populates registry)
 from repro.lint.baseline import Baseline, find_default_baseline
 from repro.lint.config import LintConfig
-from repro.lint.engine import LintEngine, all_rules
+from repro.lint.engine import Finding, LintEngine, all_rules
+from repro.lint.flow import FlowEngine, all_flow_rules
 from repro.lint.report import (
     LintResult,
     render_json,
@@ -44,6 +51,16 @@ def add_lint_arguments(sp: argparse.ArgumentParser) -> None:
     sp.add_argument(
         "--format", choices=["text", "json", "md"], default="text",
         help="output format (json is the tools/lint_report.py input)",
+    )
+    sp.add_argument(
+        "--tier", choices=["file", "flow", "all"], default="all",
+        help="analysis tier: per-file rules (D*), interprocedural "
+        "flow rules (F*), or both (default: all)",
+    )
+    sp.add_argument(
+        "--graph-out", default=None, metavar="FILE",
+        help="write the flow tier's call-graph/module-dependency JSON "
+        "to FILE (requires --tier flow or all)",
     )
     sp.add_argument(
         "--select", default=None, metavar="IDS",
@@ -83,11 +100,46 @@ def _parse_ids(spec: str | None) -> frozenset[str] | None:
 
 
 def _list_rules() -> str:
-    lines = ["rule  name                  zones                rationale"]
-    for r in all_rules():
+    lines = ["rule  tier  name                  zones                rationale"]
+    for r in all_rules() + list(all_flow_rules()):
         zones = ",".join(z.removeprefix("repro/") for z in r.zones) or "(all)"
-        lines.append(f"{r.id:5s} {r.name:21s} {zones:20s} {r.rationale}")
+        tier = getattr(r, "tier", "file")
+        lines.append(
+            f"{r.id:5s} {tier:5s} {r.name:21s} {zones:20s} {r.rationale}"
+        )
     return "\n".join(lines)
+
+
+def _run_tiers(
+    args: argparse.Namespace, config: LintConfig
+) -> tuple[list[Finding], set[str]]:
+    """Run the selected tier(s); returns findings + active rule ids."""
+    findings: list[Finding] = []
+    active: set[str] = {"E0"}
+    if args.tier in ("file", "all"):
+        eng = LintEngine(config)
+        findings.extend(eng.run(args.paths))
+        active.update(r.id for r in eng.active_rules())
+    if args.tier in ("flow", "all"):
+        feng = FlowEngine(config)
+        flow_findings, project = feng.run_with_project(args.paths)
+        findings.extend(flow_findings)
+        active.update(r.id for r in feng.active_rules())
+        if args.graph_out:
+            project.write_graph(args.graph_out)
+    if args.tier == "all":
+        # both tiers parse every file, so E0 parse errors arrive twice
+        seen: set[tuple] = set()
+        deduped = []
+        for f in findings:
+            key = (f.rule, f.path, f.line, f.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            deduped.append(f)
+        findings = deduped
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, active
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -98,7 +150,7 @@ def run_lint(args: argparse.Namespace) -> int:
 
     select = _parse_ids(args.select)
     ignore = _parse_ids(args.ignore) or frozenset()
-    known = {r.id for r in all_rules()}
+    known = {r.id for r in all_rules()} | {r.id for r in all_flow_rules()}
     for rid in (select or frozenset()) | ignore:
         if rid not in known:
             print(
@@ -106,11 +158,16 @@ def run_lint(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.graph_out and args.tier == "file":
+        print(
+            "error: --graph-out needs the flow tier (--tier flow or all)",
+            file=sys.stderr,
+        )
+        return 2
 
     config = LintConfig(select=select, ignore=ignore)
-    eng = LintEngine(config)
     try:
-        findings = eng.run(args.paths)
+        findings, active = _run_tiers(args, config)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -127,7 +184,14 @@ def run_lint(args: argparse.Namespace) -> int:
             except (OSError, ValueError):
                 previous = None  # regenerating an absent/broken file
         out_path = baseline_path or ".lint-baseline.json"
-        Baseline.from_findings(findings, previous).write(out_path)
+        regenerated = Baseline.from_findings(findings, previous)
+        if previous is not None:
+            # keep entries for rules this (possibly partial) run never
+            # executed -- a --tier/--select write must not drop them
+            regenerated.entries.extend(
+                e for e in previous.entries if e.rule not in active
+            )
+        regenerated.write(out_path)
         print(
             f"baseline with {len(findings)} finding(s) -> {out_path}; "
             f"fill in every placeholder reason before committing",
@@ -144,7 +208,7 @@ def run_lint(args: argparse.Namespace) -> int:
             return 2
 
     result = LintResult.from_partition(
-        args.paths, baseline.apply(findings), baseline_path
+        args.paths, baseline.apply(findings, active), baseline_path
     )
     if args.format == "json":
         print(render_json(result))

@@ -22,6 +22,11 @@ __all__ = [
     "FIELD_ARITHMETIC_ZONES",
     "ENGINE_ARITHMETIC_ZONES",
     "PROTOCOL_ZONES",
+    "ASYNC_ATOMICITY_ZONES",
+    "LOSS_BOUNDARY_ZONES",
+    "LOSS_SIGNALS",
+    "PARITY_ROOTS",
+    "PARITY_EXEMPT_ZONES",
     "LintConfig",
     "module_relpath",
     "in_zone",
@@ -76,6 +81,51 @@ PROTOCOL_ZONES: tuple[str, ...] = (
 )
 
 
+#: Packages whose async code mutates state other tasks also touch (F1):
+#: the asyncio service front end and the streaming watchdog.  A guard
+#: tested before an ``await`` proves nothing after it -- another task
+#: may have run across the suspension point.
+ASYNC_ATOMICITY_ZONES: tuple[str, ...] = (
+    "repro/service",
+    "repro/conformance",
+)
+
+#: Where a loss signal escaping unhandled reaches *users* (F3): the
+#: service package is the outermost layer before client code, so every
+#: public function there must handle QuorumLostError/RequestLost, map
+#: it to STATUS_LOST, or declare it ("Raises QuorumLostError") in its
+#: docstring.
+LOSS_BOUNDARY_ZONES: tuple[str, ...] = (
+    "repro/service",
+)
+
+#: The loss-signal typestate F3 tracks: the machine fact (a shard lost
+#: its write/read quorum) and its client-visible mapping.
+LOSS_SIGNALS: tuple[str, ...] = (
+    "QuorumLostError",
+    "RequestLost",
+)
+
+#: The two round-loop executors whose *shared* callee surface F4
+#: audits: code reachable from both must stay exact-integer and
+#: order-insensitive or the differential harness can diverge.
+PARITY_ROOTS: tuple[str, ...] = (
+    "repro/core/engine.py::run_phase_scalar",
+    "repro/core/protocol.py::_run_phase",
+)
+
+#: Shared-surface modules F4 does not flag: the two executor files
+#: themselves (their float use is perf timing, policed by the
+#: differential harness op-for-op), and instrumentation sinks whose
+#: float math never feeds simulation state.
+PARITY_EXEMPT_ZONES: tuple[str, ...] = (
+    "repro/core/engine.py",
+    "repro/core/protocol.py",
+    "repro/mpc/stats.py",
+    "repro/obs",
+)
+
+
 def module_relpath(path: str) -> str:
     """Normalize ``path`` to the ``repro/...`` module-relative form.
 
@@ -112,6 +162,9 @@ class LintConfig:
     #: extra per-rule zone overrides: rule id -> tuple of path prefixes
     #: replacing the rule's built-in scope (used by tests)
     zone_overrides: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: engine-parity roots for F4 (qualified ``path::func`` names);
+    #: None = the built-in :data:`PARITY_ROOTS`
+    parity_roots: tuple[str, ...] | None = None
 
     def rule_enabled(self, rule_id: str) -> bool:
         """Apply ``select`` then ``ignore`` to one rule id."""

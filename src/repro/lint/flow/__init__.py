@@ -1,0 +1,28 @@
+"""Interprocedural flow analysis: the lint suite's second tier.
+
+Where the file tier (D1-D6) checks one parsed file at a time, this
+package builds a whole-program model -- symbol table, call graph,
+module-dependency graph -- once per run and checks invariants that only
+exist *between* files: await-atomicity in the async service (F1),
+determinism taint through call edges (F2), the QuorumLostError
+typestate (F3), and the dual-engine parity surface (F4).
+
+Entry point: :class:`FlowEngine` (``repro lint --tier flow``).
+"""
+
+from repro.lint.flow.engine import (
+    FlowEngine,
+    FlowRule,
+    all_flow_rules,
+    register_flow,
+)
+from repro.lint.flow.project import Project
+from repro.lint.flow import rules as _rules  # noqa: F401  (populates registry)
+
+__all__ = [
+    "FlowEngine",
+    "FlowRule",
+    "Project",
+    "all_flow_rules",
+    "register_flow",
+]

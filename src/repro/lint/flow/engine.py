@@ -1,0 +1,105 @@
+"""The flow-tier dispatcher: project-scoped rules over one build.
+
+A :class:`FlowRule` is the interprocedural sibling of
+:class:`repro.lint.engine.Rule`: same id/severity/zones/rationale
+surface (so ``--list-rules``, ``--select`` and the baseline treat both
+tiers uniformly), but ``check_project`` sees the whole
+:class:`~repro.lint.flow.project.Project` instead of one file.
+Findings reuse the file tier's :class:`Finding` dataclass, so ``noqa``
+suppression, fingerprint-based baselining, and every renderer compose
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Iterable, Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Finding, Rule
+from repro.lint.flow.project import Project
+
+__all__ = [
+    "FlowRule",
+    "FlowEngine",
+    "register_flow",
+    "all_flow_rules",
+]
+
+
+class FlowRule(Rule):
+    """Base class for interprocedural rules (F1..)."""
+
+    #: report tier tag ("file" rules inherit Rule's default)
+    tier: str = "flow"
+
+    def check_project(
+        self, project: Project, config: LintConfig
+    ) -> Iterator[Finding]:  # pragma: no cover - abstract
+        """Yield every violation over the whole program model."""
+        raise NotImplementedError
+
+    def finding_at(
+        self, project: Project, relpath: str, line: int, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored in one project file."""
+        ctx = project.files.get(relpath)
+        return Finding(
+            rule=self.id,
+            path=relpath,
+            line=line,
+            col=0,
+            message=message,
+            snippet=ctx.snippet_at(line) if ctx is not None else "",
+            severity=self.severity,
+        )
+
+
+_FLOW_REGISTRY: dict[str, FlowRule] = {}
+
+
+def register_flow(cls: type[FlowRule]) -> type[FlowRule]:
+    """Class decorator adding a flow rule to the flow registry."""
+    if not cls.id:
+        raise ValueError(f"flow rule {cls.__name__} has no id")
+    if cls.id in _FLOW_REGISTRY:
+        raise ValueError(f"duplicate flow rule id {cls.id}")
+    _FLOW_REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_flow_rules() -> list[FlowRule]:
+    """Registered flow rules in id order."""
+    return [_FLOW_REGISTRY[k] for k in sorted(_FLOW_REGISTRY)]
+
+
+@dataclass
+class FlowEngine:
+    """Build the project model once, dispatch every enabled flow rule."""
+
+    config: LintConfig = dc_field(default_factory=LintConfig)
+
+    def active_rules(self) -> list[FlowRule]:
+        """Flow rules surviving the select/ignore configuration."""
+        return [
+            r for r in all_flow_rules() if self.config.rule_enabled(r.id)
+        ]
+
+    def run(self, paths: Iterable[str]) -> list[Finding]:
+        """Analyze files/trees and return findings sorted by location."""
+        return self.run_with_project(paths)[0]
+
+    def run_with_project(
+        self, paths: Iterable[str]
+    ) -> tuple[list[Finding], Project]:
+        """Like :meth:`run`, also returning the built project (for the
+        ``--graph-out`` CI artifact)."""
+        project, findings = Project.build(list(paths))
+        for rule in self.active_rules():
+            for f in rule.check_project(project, self.config):
+                ctx = project.files.get(f.path)
+                if ctx is not None and ctx.suppressed(f.rule, f.line):
+                    continue
+                findings.append(f)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings, project

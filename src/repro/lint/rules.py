@@ -299,36 +299,52 @@ class UnseededRandomnessRule(Rule):
             ctx.relpath == z or ctx.relpath.startswith(z + "/")
             for z in RANDOMNESS_ALLOWED_ZONES
         )
-        random_aliases = _module_aliases(ctx.tree, "random")
-        np_aliases = _module_aliases(ctx.tree, "numpy")
-        npr_aliases = _module_aliases(ctx.tree, "numpy.random") | {
-            f"{a}.random" for a in np_aliases
-        }
-        time_aliases = _module_aliases(ctx.tree, "time")
-        dt_mod_aliases = _module_aliases(ctx.tree, "datetime")
-        os_aliases = _module_aliases(ctx.tree, "os")
-        uuid_aliases = _module_aliases(ctx.tree, "uuid")
-        from_bindings = {
-            **{k: ("random", v) for k, v in _imported_names(ctx.tree, "random").items()},
-            **{k: ("numpy.random", v)
-               for k, v in _imported_names(ctx.tree, "numpy.random").items()},
-            **{k: ("time", v) for k, v in _imported_names(ctx.tree, "time").items()},
-            **{k: ("datetime", v)
-               for k, v in _imported_names(ctx.tree, "datetime").items()},
-        }
-
+        maps = self.alias_maps(ctx.tree)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
-            msg = self._classify(
-                node, random_aliases, npr_aliases, time_aliases,
-                dt_mod_aliases, os_aliases, uuid_aliases, from_bindings,
-            )
+            msg = self.classify_call(node, maps)
             if msg is None:
                 continue
             if relaxed and ctx.enclosing_function(node) is not None:
                 continue  # seeded-plan packages: function scope is fine
             yield ctx.finding(self, node, msg)
+
+    @staticmethod
+    def alias_maps(tree: ast.Module) -> dict:
+        """Per-file import-alias maps the classifier resolves against.
+
+        Built once per file; also consumed by the flow tier's F2 rule,
+        which applies the same source classification interprocedurally.
+        """
+        np_aliases = _module_aliases(tree, "numpy")
+        return {
+            "random": _module_aliases(tree, "random"),
+            "npr": _module_aliases(tree, "numpy.random") | {
+                f"{a}.random" for a in np_aliases
+            },
+            "time": _module_aliases(tree, "time"),
+            "datetime": _module_aliases(tree, "datetime"),
+            "os": _module_aliases(tree, "os"),
+            "uuid": _module_aliases(tree, "uuid"),
+            "from": {
+                **{k: ("random", v)
+                   for k, v in _imported_names(tree, "random").items()},
+                **{k: ("numpy.random", v)
+                   for k, v in _imported_names(tree, "numpy.random").items()},
+                **{k: ("time", v)
+                   for k, v in _imported_names(tree, "time").items()},
+                **{k: ("datetime", v)
+                   for k, v in _imported_names(tree, "datetime").items()},
+            },
+        }
+
+    def classify_call(self, node: ast.Call, maps: dict) -> str | None:
+        """Classify one call against prebuilt :meth:`alias_maps`."""
+        return self._classify(
+            node, maps["random"], maps["npr"], maps["time"],
+            maps["datetime"], maps["os"], maps["uuid"], maps["from"],
+        )
 
     def _classify(
         self,
@@ -531,41 +547,60 @@ class UnguardedObservabilityRule(Rule):
         tree: ast.Module, obs_aliases: set[str], attr: str
     ) -> set[str]:
         """Names bound from ``<obs>.tracer()`` / ``.metrics()`` /
-        ``.bus()`` / ``.ledger()``, directly or through a conditional
-        expression (``led = obs.ledger() if obs.enabled() else None``).
+        ``.bus()`` / ``.ledger()``, directly, through a conditional
+        expression (``led = obs.ledger() if obs.enabled() else None``),
+        through a walrus binding (``if (m := obs.metrics()):``), or onto
+        an attribute chain (``self._led = obs.ledger()`` -> tracks
+        ``self._led``).
         """
         out: set[str] = set()
         for node in ast.walk(tree):
-            if not isinstance(node, ast.Assign):
+            targets: list[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.NamedExpr):
+                targets = [node.target]
+                value = node.value
+            else:
                 continue
-            values = [node.value]
-            if isinstance(node.value, ast.IfExp):
-                values = [node.value.body, node.value.orelse]
-            for value in values:
+            values = [value]
+            if isinstance(value, ast.IfExp):
+                values = [value.body, value.orelse]
+            for v in values:
                 if (
-                    isinstance(value, ast.Call)
-                    and _is_attr_of(value.func, obs_aliases)
-                    and value.func.attr == attr
+                    isinstance(v, ast.Call)
+                    and _is_attr_of(v.func, obs_aliases)
+                    and v.func.attr == attr
                 ):
-                    for tgt in node.targets:
-                        if isinstance(tgt, ast.Name):
-                            out.add(tgt.id)
+                    for tgt in targets:
+                        name = _call_name(tgt)
+                        if name is not None:
+                            out.add(name)
         return out
 
     @staticmethod
     def _guard_names(tree: ast.Module, obs_aliases: set[str]) -> set[str]:
-        """Names bound from ``<obs>.enabled()``-style guard reads."""
+        """Names bound from ``<obs>.enabled()``-style guard reads --
+        plain names, walrus bindings, and attribute chains
+        (``self._on = obs.enabled()`` tracks ``self._on``)."""
         out: set[str] = set()
         for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.NamedExpr):
+                targets, value = [node.target], node.value
+            else:
+                continue
             if (
-                isinstance(node, ast.Assign)
-                and isinstance(node.value, ast.Call)
-                and _is_attr_of(node.value.func, obs_aliases)
-                and "enabled" in node.value.func.attr
+                isinstance(value, ast.Call)
+                and _is_attr_of(value.func, obs_aliases)
+                and "enabled" in value.func.attr
             ):
-                for tgt in node.targets:
-                    if isinstance(tgt, ast.Name):
-                        out.add(tgt.id)
+                for tgt in targets:
+                    name = _call_name(tgt)
+                    if name is not None:
+                        out.add(name)
         return out
 
     def _emission_target(
@@ -588,6 +623,8 @@ class UnguardedObservabilityRule(Rule):
             return None
         if isinstance(func, ast.Attribute) and func.attr in _EMITTING_ATTRS:
             base = func.value
+            if isinstance(base, ast.NamedExpr):
+                base = base.value  # (tr := obs.tracer()).event(...)
             # _obs.tracer().event(...) inline chain
             if (
                 isinstance(base, ast.Call)
@@ -595,16 +632,20 @@ class UnguardedObservabilityRule(Rule):
                 and base.func.attr in ("tracer", "metrics", "bus")
             ):
                 return f"obs.{base.func.attr}().{func.attr}"
-            # tr.event(...) on a name bound from obs.tracer()/metrics()/bus()
-            if isinstance(base, ast.Name) and base.id in (
+            # tr.event(...) on a name (or self.attr chain) bound from
+            # obs.tracer()/metrics()/bus()
+            base_name = _call_name(base)
+            if base_name is not None and base_name in (
                 tracer_names | metrics_names | bus_names
             ):
-                return f"{base.id}.{func.attr}"
+                return f"{base_name}.{func.attr}"
         if (
             isinstance(func, ast.Attribute)
             and func.attr in _LEDGER_EMITTING_ATTRS
         ):
             base = func.value
+            if isinstance(base, ast.NamedExpr):
+                base = base.value  # (led := obs.ledger()).count(...)
             # _obs.ledger().count(...) inline chain
             if (
                 isinstance(base, ast.Call)
@@ -612,9 +653,11 @@ class UnguardedObservabilityRule(Rule):
                 and base.func.attr == "ledger"
             ):
                 return f"obs.ledger().{func.attr}"
-            # led.count(...) on a name bound from obs.ledger()
-            if isinstance(base, ast.Name) and base.id in ledger_names:
-                return f"{base.id}.{func.attr}"
+            # led.count(...) on a name (or self.attr chain) bound from
+            # obs.ledger()
+            base_name = _call_name(base)
+            if base_name is not None and base_name in ledger_names:
+                return f"{base_name}.{func.attr}"
         return None
 
     def _guarded(
@@ -644,8 +687,11 @@ class UnguardedObservabilityRule(Rule):
     @staticmethod
     def _test_mentions_guard(test: ast.expr, guard_names: set[str]) -> bool:
         for sub in ast.walk(test):
-            if isinstance(sub, ast.Attribute) and "enabled" in sub.attr:
-                return True
+            if isinstance(sub, ast.Attribute):
+                if "enabled" in sub.attr:
+                    return True
+                if _call_name(sub) in guard_names:
+                    return True
             if isinstance(sub, ast.Name) and (
                 "enabled" in sub.id or sub.id in guard_names
             ):

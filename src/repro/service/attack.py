@@ -57,7 +57,11 @@ class StalePoisoning:
         return {str(int(k)) for k in self.victims}
 
     def heal(self, store: ShardedKV) -> None:
-        """Clear the crashed modules and rewrite every victim fresh."""
+        """Clear the crashed modules and rewrite every victim fresh.
+
+        Raises :class:`~repro.faults.report.QuorumLostError` if other
+        faults crashed past the quorum bound on a victim shard; the
+        attack stays mounted so the caller can retry."""
         if self.healed:
             return
         for s, _failed in self.failed_by_shard.items():
@@ -83,6 +87,10 @@ def poison_stale_majority(
     modules holding the remaining fresh copies.  Keys not found in the
     table are skipped.  Returns the mounted :class:`StalePoisoning`
     (empty ``victims`` if none were present).
+
+    Raises :class:`~repro.faults.report.QuorumLostError` if prior
+    faults already broke a victim's read quorum -- the stale majority
+    cannot be formed and nothing is mounted.
     """
     keys = np.asarray(keys, dtype=np.int64)
     shard_of = store.route_ints(keys)

@@ -141,7 +141,15 @@ class _Queue:
     stamp: list = field(default_factory=list)
     count: int = 0
 
-    def push(self, sess, op, key, val, seq, stamp) -> None:
+    def push(
+        self,
+        sess: np.ndarray,
+        op: np.ndarray,
+        key: np.ndarray,
+        val: np.ndarray,
+        seq: np.ndarray,
+        stamp: np.ndarray,
+    ) -> None:
         self.sess.append(sess)
         self.op.append(op)
         self.key.append(key)
@@ -159,7 +167,15 @@ class _Queue:
         )
         return out
 
-    def replace(self, sess, op, key, val, seq, stamp) -> None:
+    def replace(
+        self,
+        sess: np.ndarray,
+        op: np.ndarray,
+        key: np.ndarray,
+        val: np.ndarray,
+        seq: np.ndarray,
+        stamp: np.ndarray,
+    ) -> None:
         self.sess = [sess]
         self.op = [op]
         self.key = [key]

@@ -16,6 +16,8 @@ bug, not retriable as-is).
 
 from __future__ import annotations
 
+from typing import Iterable
+
 __all__ = [
     "ServiceError",
     "RetriableError",
@@ -50,7 +52,9 @@ class RequestLost(RetriableError):
     """The PRAM round executing this request lost its majority quorum
     (mapped from :class:`~repro.faults.report.QuorumLostError`)."""
 
-    def __init__(self, message: str, shard: int = -1, keys=()):
+    def __init__(
+        self, message: str, shard: int = -1, keys: Iterable[int] = ()
+    ) -> None:
         super().__init__(message)
         self.shard = int(shard)
         self.keys = tuple(keys)

@@ -27,10 +27,14 @@ Fault legs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover -- annotation-only import
+    from repro.obs.perf import BenchRecorder
+
+from repro.faults.report import QuorumLostError
 from repro.mpc.faults import FaultSchedule
 from repro.service.attack import StalePoisoning, poison_stale_majority
 from repro.service.batcher import (
@@ -161,7 +165,7 @@ class LoadReport:
         """Zero violations and zero dropped events (fault-free bar)."""
         return self.violations == 0 and self.events_dropped == 0
 
-    def record_bench(self, recorder) -> None:
+    def record_bench(self, recorder: "BenchRecorder") -> None:
         """Fold tail latency + throughput into a BENCH recorder.
 
         Latency percentiles go in as *sections* (wall times, lower is
@@ -313,14 +317,24 @@ def run_load(
                 get_freq[~put_seen] = -1
                 candidates = np.argsort(-get_freq)[: cfg.attack_victims]
                 candidates = candidates[get_freq[candidates] > 0]
-                attack = poison_stale_majority(
-                    core.store, keyspace[candidates], seed=cfg.seed
-                )
-                if log:
-                    log(
-                        f"round {core.rounds}: mounted stale-majority "
-                        f"attack on {attack.victims.size} victim key(s)"
+                try:
+                    attack = poison_stale_majority(
+                        core.store, keyspace[candidates], seed=cfg.seed
                     )
+                except QuorumLostError:
+                    # >q/2 modules already down on a victim shard: no
+                    # stale majority can form; retry the mount next round
+                    if log:
+                        log(
+                            f"round {core.rounds}: attack mount lost "
+                            f"quorum; retrying next round"
+                        )
+                else:
+                    if log:
+                        log(
+                            f"round {core.rounds}: mounted stale-majority "
+                            f"attack on {attack.victims.size} victim key(s)"
+                        )
             # detection check + scheduled heal
             if attack is not None and not attack.healed:
                 wd = core.watchdog
@@ -342,9 +356,19 @@ def run_load(
                             f"round={first.round}, var={first.var})"
                         )
                 if heal_round is not None and core.rounds >= heal_round:
-                    attack.heal(core.store)
-                    if log:
-                        log(f"round {core.rounds}: attack healed")
+                    try:
+                        attack.heal(core.store)
+                    except QuorumLostError:
+                        # the victim shard lost its quorum mid-heal;
+                        # the guard above retries on the next round
+                        if log:
+                            log(
+                                f"round {core.rounds}: heal lost quorum; "
+                                f"retrying next round"
+                            )
+                    else:
+                        if log:
+                            log(f"round {core.rounds}: attack healed")
             # closed loop: fill the admission queue from the ready ring
             ids = ring.pop(core.room)
             if ids.size:

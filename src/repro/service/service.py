@@ -96,8 +96,15 @@ class KVService:
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> "KVService":
-        """Open the core (bus + watchdog) and start the round driver."""
+        """Open the core (bus + watchdog) and start the round driver.
+
+        Raises :class:`ServiceClosed` if a concurrent :meth:`stop` is
+        still draining the driver -- returning the half-closed service
+        would hand the caller a handle whose submissions all fail.
+        """
         if self._task is not None:
+            if self._closed:
+                raise ServiceClosed("service is stopping")
             return self
         self.core.open()
         self._closed = False
@@ -107,12 +114,16 @@ class KVService:
 
     async def stop(self) -> None:
         """Drain pending rounds, stop the driver, close the core."""
-        if self._task is None:
+        task = self._task
+        if task is None:
             return
         self._closed = True
         assert self._work is not None
         self._work.set()
-        await self._task
+        await task
+        if self._task is not task:
+            # a concurrent stop() finished the teardown while we waited
+            return
         self._task = None
         for fut in self._futures.values():
             if not fut.done():

@@ -19,6 +19,7 @@ streaming conformance checker.
 from __future__ import annotations
 
 import hashlib
+from typing import Sequence
 
 import numpy as np
 
@@ -112,8 +113,17 @@ class ShardedKV:
         """Fold a directly-driven shard's clock back into the order."""
         self._clock = max(self._clock, s.clock)
 
-    def shard_get(self, shard: int, keys, engine: str | None = None) -> np.ndarray:
-        """Batched get on one shard under the shared round clock."""
+    def shard_get(
+        self,
+        shard: int,
+        keys: Sequence[int | str],
+        engine: str | None = None,
+    ) -> np.ndarray:
+        """Batched get on one shard under the shared round clock.
+
+        Raises :class:`~repro.faults.report.QuorumLostError` if the
+        shard's failed-module set leaves any touched variable without a
+        read quorum -- callers own the retry/abort policy."""
         s = self.enter_shard(shard)
         try:
             return s.batch_get(keys, engine=engine)
@@ -121,17 +131,32 @@ class ShardedKV:
             self.leave_shard(s)
 
     def shard_put(
-        self, shard: int, keys, values, engine: str | None = None
+        self,
+        shard: int,
+        keys: Sequence[int | str],
+        values: np.ndarray,
+        engine: str | None = None,
     ) -> dict[str, int]:
-        """Batched put on one shard under the shared round clock."""
+        """Batched put on one shard under the shared round clock.
+
+        Raises :class:`~repro.faults.report.QuorumLostError` if the
+        shard cannot assemble a write quorum for a touched variable."""
         s = self.enter_shard(shard)
         try:
             return s.batch_put(keys, values, engine=engine)
         finally:
             self.leave_shard(s)
 
-    def shard_delete(self, shard: int, keys, engine: str | None = None) -> int:
-        """Batched delete on one shard under the shared round clock."""
+    def shard_delete(
+        self,
+        shard: int,
+        keys: Sequence[int | str],
+        engine: str | None = None,
+    ) -> int:
+        """Batched delete on one shard under the shared round clock.
+
+        Raises :class:`~repro.faults.report.QuorumLostError` if the
+        shard cannot assemble a quorum for a touched variable."""
         s = self.enter_shard(shard)
         try:
             return s.batch_delete(keys, engine=engine)

@@ -39,7 +39,9 @@ class _VirtualSelector(selectors.SelectSelector):
         super().__init__()
         self._loop = loop
 
-    def select(self, timeout: float | None = None):  # noqa: D102
+    def select(
+        self, timeout: float | None = None
+    ) -> list[tuple[selectors.SelectorKey, int]]:  # noqa: D102
         if timeout is None:
             raise RuntimeError(
                 "deterministic loop stalled: nothing runnable and no timers"

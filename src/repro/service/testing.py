@@ -50,8 +50,8 @@ class Mismatch:
 
     def __init__(
         self, round_id: int, session: int, op: int, key: int,
-        observed: int, expected,
-    ):
+        observed: int, expected: int,
+    ) -> None:
         self.round_id = int(round_id)
         self.session = int(session)
         self.op = int(op)

@@ -1,0 +1,26 @@
+"""F1 negative: the claim-local + re-validate pattern F1 must accept."""
+
+
+class Driver:
+    def __init__(self):
+        self._task = None
+        self._closed = False
+
+    async def stop(self):
+        task = self._task
+        if task is None:
+            return
+        self._closed = True
+        await task
+        if self._task is not task:
+            return  # someone else finished the teardown
+        self._task = None
+
+    async def write_before_await_is_atomic(self):
+        if self._task is None:
+            self._task = object()
+        await noop()
+
+
+async def noop():
+    return None

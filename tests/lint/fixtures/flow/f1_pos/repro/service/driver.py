@@ -1,0 +1,18 @@
+"""Seeded F1 violation: guard tested before an await, acted on after.
+
+The classic stop() TOCTOU -- ``self._task`` is proven non-None, the
+coroutine suspends, and the stale proof is then used for a write.
+"""
+
+
+class Driver:
+    def __init__(self):
+        self._task = None
+        self._closed = False
+
+    async def stop(self):
+        if self._task is None:
+            return
+        self._closed = True
+        await self._task
+        self._task = None  # F1: no re-validation across the suspension

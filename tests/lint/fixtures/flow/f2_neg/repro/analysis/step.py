@@ -1,0 +1,8 @@
+"""F2 negative caller: analysis code is outside every deterministic
+zone, so the taint never crosses into protocol state."""
+
+from repro.workloads.draws import draw_latency
+
+
+def summarize(state):
+    return state + draw_latency()

@@ -1,0 +1,8 @@
+"""F2 negative: the same draw, never reachable from a deterministic
+zone -- workload code calling workload code is D2-legal and F2-clean."""
+
+import random
+
+
+def draw_latency():
+    return random.random()

@@ -1,0 +1,8 @@
+"""F2 positive, sink side: a deterministic-zone caller launders the
+randomness through the call edge."""
+
+from repro.workloads.draws import draw_latency
+
+
+def advance(state):
+    return state + draw_latency()

@@ -1,0 +1,7 @@
+"""F2 positive, source side: legal unseeded draw in a workload zone."""
+
+import random
+
+
+def draw_latency():
+    return random.random()

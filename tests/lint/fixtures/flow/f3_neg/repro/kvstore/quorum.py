@@ -1,0 +1,11 @@
+"""F3 negative, raise side: identical raiser to the positive tree."""
+
+
+class QuorumLostError(RuntimeError):
+    """A shard variable lost its copy majority."""
+
+
+def read_quorum(n):
+    if n <= 0:
+        raise QuorumLostError("no quorum")
+    return n

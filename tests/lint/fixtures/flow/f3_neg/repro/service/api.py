@@ -1,0 +1,34 @@
+"""F3 negative boundaries: every escape path is handled (directly or
+through the exception hierarchy), mapped, or declared."""
+
+from repro.kvstore.quorum import QuorumLostError, read_quorum
+
+
+def serve_get(n):
+    """Read one value, mapping loss to the sentinel."""
+    try:
+        return read_quorum(n)
+    except QuorumLostError:
+        return -1  # the STATUS_LOST mapping
+
+
+def serve_count(n):
+    """Catches the signal's declared ancestor (RuntimeError)."""
+    try:
+        return read_quorum(n)
+    except RuntimeError:
+        return 0
+
+
+def serve_scan(n):
+    """Raw read.
+
+    Raises QuorumLostError when the shard is down; callers own the
+    retry policy.
+    """
+    return read_quorum(n)
+
+
+def _probe(n):
+    # private helpers are not boundaries
+    return read_quorum(n)

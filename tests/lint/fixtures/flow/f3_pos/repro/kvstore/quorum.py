@@ -1,0 +1,11 @@
+"""F3 positive, raise side: a tracked loss signal with one raise site."""
+
+
+class QuorumLostError(RuntimeError):
+    """A shard variable lost its copy majority."""
+
+
+def read_quorum(n):
+    if n <= 0:
+        raise QuorumLostError("no quorum")
+    return n

@@ -1,0 +1,9 @@
+"""F3 positive, boundary side: a public service function leaks the
+loss signal -- unhandled, unmapped, undeclared."""
+
+from repro.kvstore.quorum import read_quorum
+
+
+def serve_get(n):
+    """Read one value from the quorum."""
+    return read_quorum(n)

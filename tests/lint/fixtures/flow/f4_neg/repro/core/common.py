@@ -1,0 +1,10 @@
+"""F4 negative, shared surface: integer-exact where both roots reach;
+the float math lives on a single-root branch, which is out of scope."""
+
+
+def mix(v):
+    return (v * 7 + 3) // 2
+
+
+def scalar_only(v):
+    return v / 3  # only run_phase_scalar reaches this: not flagged

@@ -1,0 +1,8 @@
+"""F4 negative, scalar root: shared surface is exact-integer; the
+float helper is reachable from this root only."""
+
+from repro.core.common import mix, scalar_only
+
+
+def run_phase_scalar(vals):
+    return [mix(v) + scalar_only(v) for v in vals]

@@ -1,0 +1,7 @@
+"""F4 negative, vector root: reaches only the exact-integer helper."""
+
+from repro.core.common import mix
+
+
+def _run_phase(vals):
+    return mix(vals)

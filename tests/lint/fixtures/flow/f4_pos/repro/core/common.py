@@ -1,0 +1,5 @@
+"""F4 positive, shared surface: both roots reach this float division."""
+
+
+def mix(v):
+    return v / 3  # F4: float result on the dual-engine surface

@@ -1,0 +1,7 @@
+"""F4 positive, scalar root (path matches the default parity root)."""
+
+from repro.core.common import mix
+
+
+def run_phase_scalar(vals):
+    return [mix(v) for v in vals]

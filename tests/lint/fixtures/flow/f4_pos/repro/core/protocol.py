@@ -1,0 +1,7 @@
+"""F4 positive, vector root (path matches the default parity root)."""
+
+from repro.core.common import mix
+
+
+def _run_phase(vals):
+    return mix(vals)

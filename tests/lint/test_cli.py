@@ -118,7 +118,8 @@ class TestFormatsAndTools:
         assert data["counts"]["D3"]["new"] >= 1
         (finding,) = [f for f in data["new"] if f["rule"] == "D3"]
         assert finding["path"].startswith("repro/gf/")
-        assert set(data["rules"]) == {"D1", "D2", "D3", "D4", "D5", "D6"}
+        assert set(data["rules"]) >= {"D1", "D2", "D3", "D4", "D5", "D6",
+                              "F1", "F2", "F3", "F4"}
 
     def test_markdown_format(self, capsys):
         code = main(["--no-baseline", "--format", "md", SEEDED["D3"]])

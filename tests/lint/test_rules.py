@@ -207,6 +207,52 @@ class TestD4UnguardedObs:
         )
         assert rules_of(lint_source(src, CORE)) == ["D4"]
 
+    def test_walrus_guard_variable_recognized(self):
+        src = self.OBS_IMPORT + (
+            "if (obs_on := _obs.enabled()):\n"
+            "    _obs.tracer().event('x')\n"
+        )
+        assert lint_source(src, CORE) == []
+
+    def test_walrus_guard_reused_later_clean(self):
+        src = self.OBS_IMPORT + (
+            "def emit():\n"
+            "    if not (obs_on := _obs.enabled()):\n"
+            "        return\n"
+            "    if obs_on:\n"
+            "        _obs.tracer().event('x')\n"
+        )
+        assert lint_source(src, CORE) == []
+
+    def test_attribute_chain_guard_variable_recognized(self):
+        src = self.OBS_IMPORT + (
+            "class Core:\n"
+            "    def __init__(self):\n"
+            "        self._on = _obs.enabled()\n"
+            "        self._tr = _obs.tracer()\n"
+            "    def emit(self):\n"
+            "        if self._on:\n"
+            "            self._tr.event('x')\n"
+        )
+        assert lint_source(src, CORE) == []
+
+    def test_attribute_bound_tracer_unguarded_flagged(self):
+        src = self.OBS_IMPORT + (
+            "class Core:\n"
+            "    def __init__(self):\n"
+            "        self._tr = _obs.tracer()\n"
+            "    def emit(self):\n"
+            "        self._tr.event('x')\n"
+        )
+        assert rules_of(lint_source(src, CORE)) == ["D4"]
+
+    def test_walrus_bound_tracer_unguarded_flagged(self):
+        src = self.OBS_IMPORT + (
+            "def emit():\n"
+            "    (tr := _obs.tracer()).event('x')\n"
+        )
+        assert rules_of(lint_source(src, CORE)) == ["D4"]
+
     def test_no_obs_import_no_findings(self):
         src = "tracer().event('x')\n"
         assert lint_source(src, CORE) == []

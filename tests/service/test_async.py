@@ -136,6 +136,43 @@ class TestAdmissionSurface:
 
         det_run(main())
 
+    def test_start_during_drain_raises_service_closed(self):
+        # regression (found by lint F1): stop() used to re-read
+        # self._task after its await, so a start() issued while the
+        # drain was suspended silently returned a closing service
+        # whose every submission failed
+        async def main():
+            svc = _service()
+            await svc.start()
+            draining = asyncio.create_task(svc.stop())
+            await asyncio.sleep(0)  # stop() is now parked on the driver
+            assert svc._closed and svc._task is not None
+            with pytest.raises(ServiceClosed):
+                await svc.start()
+            await draining
+            # once the drain finishes, a fresh start works
+            await svc.start()
+            s = svc.session()
+            assert await s.put(1, 5) == 5
+            await svc.stop()
+
+        det_run(main())
+
+    def test_concurrent_stops_tear_down_once(self):
+        async def main():
+            svc = _service()
+            await svc.start()
+            s = svc.session()
+            await s.put(3, 9)
+            await asyncio.gather(svc.stop(), svc.stop())
+            assert svc._task is None
+            await svc.start()  # double stop leaves a restartable service
+            s2 = svc.session()
+            assert await s2.put(4, 16) == 16
+            await svc.stop()
+
+        det_run(main())
+
 
 class TestQuorumLossSurface:
     def test_lost_request_raises_retriable_with_keys(self):

@@ -111,3 +111,73 @@ class TestServedSoak:
         b = run_load(cfg, ServiceConfig(**svc)).detection
         assert a is not None
         assert a == b
+
+
+class TestQuorumLossAtAttackBoundary:
+    """run_load owns the QuorumLostError policy at the attack boundary.
+
+    Regression (found by lint F3): a quorum loss inside the attack
+    mount or heal used to escape ``run_load`` entirely, crashing the
+    soak instead of retrying on the next round.
+    """
+
+    def test_run_completes_when_mount_keeps_losing_quorum(self, monkeypatch):
+        from repro.faults.report import QuorumLostError
+        from repro.service import loadgen
+
+        mounts = {"n": 0}
+
+        def broken_mount(store, keys, seed=0, stale_time=1):
+            mounts["n"] += 1
+            raise QuorumLostError("mount: no read quorum")
+
+        monkeypatch.setattr(loadgen, "poison_stale_majority", broken_mount)
+        cfg = LoadConfig(
+            clients=40, ops_per_client=3, keyspace=32, mix="hotkey",
+            hot=4, seed=3, fault="stale", attack_round=1,
+            get_fraction=0.6, delete_fraction=0.0,
+        )
+        rep = run_load(
+            cfg, ServiceConfig(q=2, n=3, round_capacity=32, max_pending=256)
+        )
+        assert rep.unfinished_clients == 0
+        assert mounts["n"] > 1  # retried, not abandoned
+        assert rep.detection is None  # nothing ever mounted
+
+    def test_heal_retries_after_transient_quorum_loss(self, monkeypatch):
+        from repro.faults.report import QuorumLostError
+        from repro.service.attack import StalePoisoning
+
+        real_heal = StalePoisoning.heal
+        heals = {"n": 0}
+
+        def flaky_heal(self, store):
+            heals["n"] += 1
+            if heals["n"] <= 2:
+                raise QuorumLostError("heal: transient quorum loss")
+            real_heal(self, store)
+
+        monkeypatch.setattr(StalePoisoning, "heal", flaky_heal)
+        mounted = {}
+        real_mount = poison_stale_majority
+
+        def record_mount(store, keys, seed=0, stale_time=1):
+            atk = real_mount(store, keys, seed=seed, stale_time=stale_time)
+            mounted["atk"] = atk
+            return atk
+
+        from repro.service import loadgen
+
+        monkeypatch.setattr(loadgen, "poison_stale_majority", record_mount)
+        cfg = LoadConfig(
+            clients=120, ops_per_client=4, keyspace=64, mix="hotkey",
+            hot=8, seed=3, fault="stale", attack_round=2,
+            attack_victims=3, heal_after=2, get_fraction=0.6,
+            delete_fraction=0.0,
+        )
+        rep = run_load(
+            cfg, ServiceConfig(q=2, n=3, round_capacity=64, max_pending=512)
+        )
+        assert rep.unfinished_clients == 0
+        assert heals["n"] >= 3  # two losses absorbed, then success
+        assert mounted["atk"].healed  # retry loop finished the heal
